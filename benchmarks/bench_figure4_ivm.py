@@ -1,0 +1,82 @@
+"""Figure 4 (right): covariance-matrix maintenance under a stream of inserts.
+
+The three IVM strategies maintain the continuous-feature covariance matrix of
+the retailer join while tuples stream into an initially empty database.  The
+reported metric is throughput (tuples/second); the shape to check is
+F-IVM > higher-order IVM > first-order IVM, with first-order degrading fastest
+as the number of maintained aggregates grows.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.ivm import FIVM, FirstOrderIVM, HigherOrderIVM, Update
+
+
+@pytest.fixture(scope="module")
+def update_stream(retailer_bench):
+    database, query, spec = retailer_bench
+    updates = [
+        Update(relation.name, row, 1) for relation in database for row in relation
+    ]
+    random.Random(11).shuffle(updates)
+    features = [feature for feature in spec.continuous_features]
+    return database, query, features, updates
+
+
+STRATEGIES = {
+    "first_order": (FirstOrderIVM, 400),
+    "higher_order": (HigherOrderIVM, 2000),
+    "fivm": (FIVM, 2000),
+}
+
+
+@pytest.mark.parametrize("strategy_name", list(STRATEGIES))
+def test_figure4_right_ivm_throughput(benchmark, update_stream, strategy_name):
+    database, query, features, updates = update_stream
+    strategy, stream_length = STRATEGIES[strategy_name]
+    stream = updates[:stream_length]
+
+    def run():
+        maintainer = strategy(database, query, features)
+        started = time.perf_counter()
+        maintainer.apply_batch(stream)
+        elapsed = time.perf_counter() - started
+        return maintainer, elapsed
+
+    maintainer, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    throughput = len(stream) / max(elapsed, 1e-9)
+    print(
+        f"\n=== Figure 4 (right) {strategy_name}: {throughput:,.0f} tuples/s "
+        f"({len(stream)} inserts, {len(features)} features, "
+        f"{elapsed:.2f}s; maintained count={maintainer.statistics().count:.0f})"
+    )
+    assert maintainer.statistics().count >= 0
+
+
+def test_figure4_right_ordering(benchmark, update_stream):
+    """The relative ordering of the three strategies on a common stream."""
+    database, query, features, updates = update_stream
+    stream = updates[:600]
+
+    def run_all():
+        results = {}
+        for name, (strategy, _length) in STRATEGIES.items():
+            maintainer = strategy(database, query, features)
+            started = time.perf_counter()
+            maintainer.apply_batch(stream)
+            elapsed = time.perf_counter() - started
+            results[name] = len(stream) / max(elapsed, 1e-9)
+        return results
+
+    throughputs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print("\n=== Figure 4 (right) ordering on a common 600-insert stream ===")
+    for name, value in sorted(throughputs.items(), key=lambda item: -item[1]):
+        print(f"  {name:14s} {value:12,.0f} tuples/s")
+    assert throughputs["fivm"] > throughputs["first_order"]
+    assert throughputs["higher_order"] > throughputs["first_order"]

@@ -1,0 +1,61 @@
+"""Figure 5: number of aggregates per workload and dataset.
+
+The table is deterministic — it only depends on the feature specification of
+each dataset — and regenerates the shape of Figure 5: covariance and
+decision-node batches contain hundreds to thousands of aggregates, mutual
+information and k-means far fewer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregates import batch_catalogue
+
+
+def _threshold_grid(database, features, count=16):
+    thresholds = {}
+    for feature in features:
+        owners = database.relations_with_attribute(feature)
+        if not owners:
+            continue
+        values = sorted(float(value) for value in owners[0].column(feature))
+        if not values or values[0] == values[-1]:
+            continue
+        low, high = values[0], values[-1]
+        step = (high - low) / (count + 1)
+        thresholds[feature] = [low + step * index for index in range(1, count + 1)]
+    return thresholds
+
+
+def _count_table(bench_datasets):
+    table = {}
+    for name, (database, _query, spec) in bench_datasets.items():
+        non_target = [feature for feature in spec.continuous_features if feature != spec.target]
+        catalogue = batch_catalogue(
+            spec.target,
+            spec.continuous_features,
+            spec.categorical_features,
+            thresholds=_threshold_grid(database, non_target),
+        )
+        table[name] = {workload: len(batch) for workload, batch in catalogue.items()}
+    return table
+
+
+def test_figure5_aggregate_counts(benchmark, bench_datasets):
+    table = benchmark.pedantic(_count_table, args=(bench_datasets,), rounds=1, iterations=1)
+
+    workloads = ["covariance", "decision_node", "mutual_information", "kmeans"]
+    datasets = list(table)
+    print("\n=== Figure 5: number of aggregates per workload ===")
+    print(f"{'workload':20s}" + "".join(f"{name:>12s}" for name in datasets))
+    for workload in workloads:
+        print(f"{workload:20s}" + "".join(f"{table[name][workload]:12d}" for name in datasets))
+
+    for name in datasets:
+        counts = table[name]
+        # The shape of Figure 5: the decision-node batch is the largest, the
+        # covariance batch has hundreds of entries, k-means has tens.
+        assert counts["decision_node"] >= counts["covariance"]
+        assert counts["covariance"] > counts["kmeans"]
+        assert counts["covariance"] >= 50

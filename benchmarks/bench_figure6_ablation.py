@@ -1,0 +1,59 @@
+"""Figure 6: ablation of the engine optimisations for the covariance batch.
+
+Starting from the AC/DC-like baseline (aggregate pushdown only), the
+optimisations are added in the paper's order — specialisation, then sharing,
+then parallelisation — and the speedup relative to the baseline is reported
+for every dataset.  The shape to check: each added optimisation does not slow
+the engine down, and specialisation + sharing give a multiplicative win.
+(Parallelisation uses threads and is GIL-bound in pure Python, so its
+contribution is expected to be small here; see EXPERIMENTS.md.)
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.aggregates import covariance_batch
+from repro.engine import EngineOptions, LMFAOEngine
+
+CONFIGURATIONS = [
+    ("baseline", EngineOptions(specialize=False, share=False, parallel=False)),
+    ("+specialisation", EngineOptions(specialize=True, share=False, parallel=False)),
+    ("+sharing", EngineOptions(specialize=True, share=True, parallel=False)),
+    ("+parallelisation", EngineOptions(specialize=True, share=True, parallel=True)),
+]
+
+
+def _run_configuration(database, query, batch, options):
+    engine = LMFAOEngine(database, query, options)
+    started = time.perf_counter()
+    engine.evaluate(batch)
+    return time.perf_counter() - started
+
+
+@pytest.mark.parametrize("dataset_name", ["retailer", "favorita", "yelp", "tpcds"])
+def test_figure6_optimisation_ablation(benchmark, bench_datasets, dataset_name):
+    database, query, spec = bench_datasets[dataset_name]
+    batch = covariance_batch(spec.continuous_features, spec.categorical_features)
+
+    def run_all():
+        return {
+            name: _run_configuration(database, query, batch, options)
+            for name, options in CONFIGURATIONS
+        }
+
+    timings = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    baseline = timings["baseline"]
+
+    print(f"\n=== Figure 6 ({dataset_name}): covariance batch, {len(batch)} aggregates ===")
+    for name, _options in CONFIGURATIONS:
+        speedup = baseline / max(timings[name], 1e-9)
+        print(f"  {name:18s} {timings[name]:8.3f}s   speedup {speedup:5.1f}x")
+
+    # Specialisation and sharing must each help; the full configuration must
+    # beat the baseline clearly.
+    assert timings["+specialisation"] < baseline
+    assert timings["+sharing"] < timings["+specialisation"] * 1.05
+    assert baseline / timings["+sharing"] > 1.5

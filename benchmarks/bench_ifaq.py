@@ -1,0 +1,70 @@
+"""Section 5.3: operation counts of the IFAQ compilation stages.
+
+Regenerates the walk-through's bottom line: successive rewrites (static
+memoisation, loop-invariant code motion, schema specialisation, aggregate
+pushdown) turn a per-iteration scan over the join into a one-off aggregate
+computation, and the final stage no longer needs the join dictionary at all.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data import Database, Relation, Schema
+from repro.ifaq import compile_and_run
+from repro.query import ConjunctiveQuery
+
+
+@pytest.fixture(scope="module")
+def ifaq_database():
+    rng = random.Random(3)
+    sales_rows = []
+    for _ in range(400):
+        item = rng.randrange(30)
+        store = rng.randrange(10)
+        units = round(4.0 + 0.6 * item - 0.2 * store + rng.gauss(0, 1), 3)
+        sales_rows.append((item, store, units))
+    database = Database(
+        [
+            Relation("S", Schema.from_names(["i", "s", "u"]), rows=sales_rows),
+            Relation("R", Schema.from_names(["s", "c"]),
+                     rows=[(s, round(2 + 0.3 * s, 2)) for s in range(10)]),
+            Relation("I", Schema.from_names(["i", "p"]),
+                     rows=[(i, round(1 + 0.15 * i, 2)) for i in range(30)]),
+        ],
+        name="ifaq_bench",
+    )
+    return database, ConjunctiveQuery(["S", "R", "I"], name="Q")
+
+
+def test_ifaq_compilation_stages(benchmark, ifaq_database):
+    database, query = ifaq_database
+    report = benchmark.pedantic(
+        compile_and_run,
+        args=(database, query),
+        kwargs=dict(iterations=20, learning_rate=1e-6),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n=== Section 5.3: IFAQ stage operation counts ===")
+    print(f"{'stage':16s} {'arithmetic':>12s} {'dyn lookups':>12s} {'total':>12s} {'needs join':>12s}")
+    for outcome in report.stages:
+        print(
+            f"{outcome.name:16s} {outcome.operations['arithmetic']:12d} "
+            f"{outcome.operations['dynamic_lookups']:12d} {outcome.operations['total']:12d} "
+            f"{'yes' if outcome.needs_join else 'no':>12s}"
+        )
+
+    assert report.parameters_agree(1e-6)
+    by_name = {outcome.name: outcome for outcome in report.stages}
+    # Code motion is the big win; specialisation trades dynamic lookups for
+    # static accesses; pushdown removes the join dependency entirely.
+    assert by_name["2_hoisted"].operations["total"] < by_name["0_naive"].operations["total"] / 3
+    assert (
+        by_name["3_specialised"].operations["dynamic_lookups"]
+        < by_name["2_hoisted"].operations["dynamic_lookups"]
+    )
+    assert not by_name["4_pushed_down"].needs_join

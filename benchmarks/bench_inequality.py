@@ -1,0 +1,76 @@
+"""Section 2.3: additive-inequality aggregates — scan vs sort-based evaluation.
+
+Many aggregates with the same inequality direction but different thresholds
+(the pattern produced by SVM sub-gradients and k-means assignment) are
+evaluated with the naive per-query scan and with the sort-once strategy.  The
+shape to check: the sorted evaluator wins once the number of thresholds grows,
+and both agree exactly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.inequality import NaiveInequalityEvaluator, SortedInequalityEvaluator
+
+POINT_COUNT = 4000
+THRESHOLD_COUNT = 64
+
+
+@pytest.fixture(scope="module")
+def inequality_workload():
+    rng = np.random.default_rng(17)
+    points = rng.normal(size=(POINT_COUNT, 4))
+    weights = np.array([0.8, -1.2, 0.5, 2.0])
+    thresholds = np.linspace(-3.0, 3.0, THRESHOLD_COUNT)
+    return points, weights, thresholds
+
+
+def test_inequality_naive_scan(benchmark, inequality_workload):
+    points, weights, thresholds = inequality_workload
+    evaluator = NaiveInequalityEvaluator(points)
+    counts = benchmark.pedantic(
+        evaluator.count_above_many, args=(weights, thresholds), rounds=1, iterations=1
+    )
+    print(f"\n=== naive scan: {len(thresholds)} thresholds over {evaluator.count} points ===")
+    assert counts[0] >= counts[-1]
+
+
+def test_inequality_sorted(benchmark, inequality_workload):
+    points, weights, thresholds = inequality_workload
+    evaluator = SortedInequalityEvaluator(points)
+    counts = benchmark.pedantic(
+        evaluator.count_above_many, args=(weights, thresholds), rounds=1, iterations=1
+    )
+    print(f"\n=== sort + binary search: {len(thresholds)} thresholds over {evaluator.count} points ===")
+    assert counts[0] >= counts[-1]
+
+
+def test_inequality_agreement_and_speedup(benchmark, inequality_workload):
+    points, weights, thresholds = inequality_workload
+    naive = NaiveInequalityEvaluator(points)
+    sorted_evaluator = SortedInequalityEvaluator(points)
+
+    def run_both():
+        started = time.perf_counter()
+        naive_counts = naive.count_above_many(weights, thresholds)
+        naive_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        sorted_counts = SortedInequalityEvaluator(points).count_above_many(weights, thresholds)
+        sorted_seconds = time.perf_counter() - started
+        return naive_counts, naive_seconds, sorted_counts, sorted_seconds
+
+    naive_counts, naive_seconds, sorted_counts, sorted_seconds = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+
+    print(
+        f"\n=== Section 2.3: additive-inequality batch of {len(thresholds)} thresholds ===\n"
+        f"  naive scan : {naive_seconds:.3f}s\n"
+        f"  sort-based : {sorted_seconds:.3f}s (speedup {naive_seconds / max(sorted_seconds, 1e-9):.1f}x)"
+    )
+    assert naive_counts == sorted_counts
+    assert sorted_seconds < naive_seconds

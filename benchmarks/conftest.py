@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark suite.
+
+The datasets are scaled-down versions of the paper's (Section 2 of DESIGN.md):
+the pure-Python engines run in seconds while keeping the join structure and
+batch shapes that drive every comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load_dataset
+
+#: Generation parameters per dataset, chosen so every benchmark finishes quickly.
+BENCH_SCALES = {
+    "retailer": dict(inventory_rows=1500, stores=10, items=40, dates=20),
+    "favorita": dict(sales_rows=1500, stores=10, items=40, dates=25),
+    "yelp": dict(review_rows=1500, businesses=60, users=90),
+    "tpcds": dict(sales_rows=1500, items=50, customers=80, stores=10, dates=30),
+}
+
+
+@pytest.fixture(scope="session")
+def bench_datasets():
+    """All four benchmark datasets, loaded once per session."""
+    loaded = {}
+    for name, scale in BENCH_SCALES.items():
+        database, query, spec = load_dataset(name, **scale)
+        loaded[name] = (database, query, spec)
+    return loaded
+
+
+@pytest.fixture(scope="session")
+def retailer_bench(bench_datasets):
+    return bench_datasets["retailer"]

@@ -1,0 +1,93 @@
+"""A small model zoo over the Yelp join: everything from one pass over the data.
+
+Demonstrates the breadth of models the aggregate-based approach covers:
+ridge regression and PCA from the sigma matrix, model selection over feature
+subsets, a Chow-Liu tree from mutual-information aggregates, relational
+k-means over a grid coreset, and a linear SVM trained with additive-inequality
+aggregates.
+
+Run with:  python examples/yelp_model_zoo.py
+"""
+
+import numpy as np
+
+from repro.datasets import YELP_FEATURES, yelp_database, yelp_query
+from repro.ml import (
+    ChowLiuTree,
+    LinearSVM,
+    ModelSelector,
+    PrincipalComponentAnalysis,
+    RelationalKMeans,
+    RidgeRegression,
+    compute_sigma,
+)
+
+
+def main() -> None:
+    database = yelp_database(review_rows=2500, businesses=80, users=120)
+    query = yelp_query()
+    target = YELP_FEATURES["target"]
+    continuous = list(YELP_FEATURES["continuous"])
+    categorical = list(YELP_FEATURES["categorical"])
+
+    print("== one aggregate batch, many models ==")
+    sigma = compute_sigma(database, query, continuous, categorical)
+    print(f"sigma matrix: {sigma.dimension}x{sigma.dimension}, from {sigma.count():.0f} join tuples")
+
+    print("\n-- ridge regression for review stars --")
+    model = RidgeRegression(target, regularization=1e-3).fit_closed_form(sigma)
+    top = sorted(model.coefficients().items(), key=lambda item: -abs(item[1]))[:5]
+    for name, value in top:
+        print(f"  {name:35s} {value:+.4f}")
+
+    print("\n-- model selection over feature subsets (no further data passes) --")
+    selector = ModelSelector(sigma, target)
+    selector.search(["business_stars", "user_average_stars", "useful", "fans"], max_subset_size=2)
+    best = selector.best()
+    print(f"  best subset: {best.features}, training MSE {best.training_mse:.4f} "
+          f"({len(selector.candidates)} candidates tried)")
+
+    print("\n-- PCA of the continuous features --")
+    pca = PrincipalComponentAnalysis(
+        ["business_stars", "business_review_count", "user_average_stars", "user_review_count",
+         "fans", "checkins"],
+        components=3,
+    )
+    result = pca.fit(sigma)
+    print(f"  explained variance ratio: {np.round(result.explained_variance_ratio(), 3)}")
+
+    print("\n-- Chow-Liu tree over the categorical features --")
+    tree = ChowLiuTree.fit(database, query, categorical)
+    for left, right, weight in tree.edges:
+        print(f"  {left} -- {right} (MI={weight:.4f})")
+
+    print("\n-- relational k-means over a grid coreset --")
+    clustering = RelationalKMeans(
+        ["business_stars", "user_average_stars", "review_stars"], clusters=3, grid_size=4
+    )
+    outcome = clustering.fit(database, query)
+    print(f"  coreset size: {clustering.coreset_size()} cells "
+          f"(vs {sigma.count():.0f} join tuples); inertia {outcome.inertia:.1f}")
+    for centroid in outcome.centroids:
+        print(f"  centroid: {np.round(centroid, 2)}")
+
+    print("\n-- linear SVM: is this a 4+ star review? --")
+    svm = LinearSVM(
+        target="high_rating",
+        features=["business_stars", "user_average_stars", "useful"],
+        iterations=150,
+    )
+    joined = query.evaluate(database)
+    rows = [dict(zip(joined.schema.names, row)) for row in joined.rows()]
+    features = np.array(
+        [[row["business_stars"], row["user_average_stars"], row["useful"]] for row in rows],
+        dtype=float,
+    )
+    labels = np.where(np.array([row["review_stars"] for row in rows], dtype=float) >= 4.0, 1.0, -1.0)
+    svm.fit_matrix(features, labels)
+    predictions = np.where(features @ svm.weights + svm.bias >= 0, 1.0, -1.0)
+    print(f"  training accuracy: {(predictions == labels).mean():.2%}")
+
+
+if __name__ == "__main__":
+    main()

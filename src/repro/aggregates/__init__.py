@@ -1,0 +1,40 @@
+"""Aggregate batches: the database workload behind learning (Section 2).
+
+The learning layer never sees the data matrix; it asks for a *batch* of
+group-by sum-product aggregates over the feature-extraction query.  This
+package defines the aggregate language (sum of products, group-by keys,
+filters, additive-inequality conditions) and synthesises the batches used by
+the models of the paper: covariance matrices, decision-tree node costs, mutual
+information, and k-means statistics.
+"""
+
+from repro.aggregates.spec import (
+    Aggregate,
+    AggregateBatch,
+    Filter,
+    FilterOp,
+    InequalityCondition,
+)
+from repro.aggregates.batch import (
+    covariance_batch,
+    decision_tree_node_batch,
+    kmeans_batch,
+    mutual_information_batch,
+    batch_catalogue,
+)
+from repro.aggregates.sparse_tensor import SigmaMatrix, FeatureIndex
+
+__all__ = [
+    "Aggregate",
+    "AggregateBatch",
+    "Filter",
+    "FilterOp",
+    "InequalityCondition",
+    "covariance_batch",
+    "decision_tree_node_batch",
+    "mutual_information_batch",
+    "kmeans_batch",
+    "batch_catalogue",
+    "SigmaMatrix",
+    "FeatureIndex",
+]

@@ -1,0 +1,215 @@
+"""Sparse-tensor encoding of the sigma (covariance) matrix.
+
+Categorical features are never one-hot encoded in the data matrix.  Instead
+the grouped aggregates of the covariance batch give, for every categorical
+feature, only the categories (and category pairs) that actually occur — the
+sparse tensor representation of Section 2.1.  This module assembles those
+aggregates into a dense matrix indexed by a :class:`FeatureIndex` only at the
+very end, when the optimiser needs linear algebra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+INTERCEPT = "__intercept__"
+
+
+class FeatureIndex:
+    """Maps model parameters to matrix positions.
+
+    Parameters are the intercept, one entry per continuous feature, and one
+    entry per *observed* category of each categorical feature (the sparse
+    encoding: categories that never occur get no parameter).
+    """
+
+    def __init__(
+        self,
+        continuous: Sequence[str],
+        categorical_values: Mapping[str, Sequence[object]],
+        include_intercept: bool = True,
+    ) -> None:
+        self.continuous = tuple(continuous)
+        self.categorical_values: Dict[str, Tuple[object, ...]] = {
+            feature: tuple(values) for feature, values in categorical_values.items()
+        }
+        self.include_intercept = include_intercept
+        self._positions: Dict[Tuple[str, Optional[object]], int] = {}
+        position = 0
+        if include_intercept:
+            self._positions[(INTERCEPT, None)] = position
+            position += 1
+        for feature in self.continuous:
+            self._positions[(feature, None)] = position
+            position += 1
+        for feature, values in self.categorical_values.items():
+            for value in values:
+                self._positions[(feature, value)] = position
+                position += 1
+        self._size = position
+
+    # -- lookups -------------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def position(self, feature: str, value: Optional[object] = None) -> int:
+        try:
+            return self._positions[(feature, value)]
+        except KeyError as exc:
+            raise KeyError(
+                f"no parameter for feature {feature!r} value {value!r}"
+            ) from exc
+
+    def has(self, feature: str, value: Optional[object] = None) -> bool:
+        return (feature, value) in self._positions
+
+    def intercept_position(self) -> int:
+        return self.position(INTERCEPT)
+
+    def labels(self) -> List[str]:
+        labels = [""] * self._size
+        for (feature, value), position in self._positions.items():
+            labels[position] = feature if value is None else f"{feature}={value}"
+        return labels
+
+    def positions_of_feature(self, feature: str) -> List[int]:
+        """All positions belonging to one feature (one for continuous, many for categorical)."""
+        return [
+            position
+            for (name, _value), position in self._positions.items()
+            if name == feature
+        ]
+
+    def entries(self) -> List[Tuple[str, Optional[object], int]]:
+        return [
+            (feature, value, position)
+            for (feature, value), position in self._positions.items()
+        ]
+
+    @property
+    def categorical_features(self) -> Tuple[str, ...]:
+        return tuple(self.categorical_values)
+
+
+@dataclass
+class SigmaMatrix:
+    """The assembled (d x d) matrix of SUM(1), SUM(x_i), SUM(x_i * x_j)."""
+
+    index: FeatureIndex
+    matrix: np.ndarray
+
+    @property
+    def dimension(self) -> int:
+        return int(self.matrix.shape[0])
+
+    def count(self) -> float:
+        """SUM(1): the number of tuples of the feature-extraction query."""
+        position = self.index.intercept_position()
+        return float(self.matrix[position, position])
+
+    def entry(self, left: str, right: str,
+              left_value: Optional[object] = None,
+              right_value: Optional[object] = None) -> float:
+        return float(
+            self.matrix[self.index.position(left, left_value), self.index.position(right, right_value)]
+        )
+
+    def submatrix(self, positions: Sequence[int]) -> np.ndarray:
+        selection = np.asarray(positions, dtype=int)
+        return self.matrix[np.ix_(selection, selection)]
+
+    def is_symmetric(self, tolerance: float = 1e-8) -> bool:
+        return bool(np.allclose(self.matrix, self.matrix.T, atol=tolerance))
+
+    def copy(self) -> "SigmaMatrix":
+        return SigmaMatrix(self.index, self.matrix.copy())
+
+
+def _categorical_domains_from_results(
+    results: Mapping[str, object], categorical: Sequence[str]
+) -> Dict[str, List[object]]:
+    """Collect the observed categories of every categorical feature.
+
+    They are read off the grouped count aggregates ``count@feature`` produced
+    by :func:`repro.aggregates.batch.covariance_batch`.
+    """
+    domains: Dict[str, List[object]] = {}
+    for feature in categorical:
+        grouped = results.get(f"count@{feature}")
+        if not isinstance(grouped, Mapping):
+            raise KeyError(
+                f"missing grouped count for categorical feature {feature!r}; "
+                "was the batch built with include_intercept=True?"
+            )
+        domains[feature] = sorted(
+            (key[0] for key in grouped), key=lambda value: (type(value).__name__, str(value))
+        )
+    return domains
+
+
+def sigma_from_batch_results(
+    results: Mapping[str, object],
+    continuous: Sequence[str],
+    categorical: Sequence[str] = (),
+) -> SigmaMatrix:
+    """Assemble a :class:`SigmaMatrix` from covariance-batch results.
+
+    ``results`` maps aggregate names (as generated by
+    :func:`repro.aggregates.batch.covariance_batch`) to either scalars or
+    dictionaries keyed by group-by value tuples.
+    """
+    domains = _categorical_domains_from_results(results, categorical)
+    index = FeatureIndex(continuous, domains, include_intercept=True)
+    matrix = np.zeros((index.size, index.size))
+
+    def set_symmetric(row: int, column: int, value: float) -> None:
+        matrix[row, column] = value
+        matrix[column, row] = value
+
+    intercept = index.intercept_position()
+    set_symmetric(intercept, intercept, float(results["count"]))
+
+    for feature in continuous:
+        set_symmetric(intercept, index.position(feature), float(results[f"sum:{feature}"]))
+    for feature in categorical:
+        grouped = results[f"count@{feature}"]
+        for key, value in grouped.items():  # type: ignore[union-attr]
+            set_symmetric(intercept, index.position(feature, key[0]), float(value))
+
+    features: List[Tuple[str, bool]] = [(feature, False) for feature in continuous]
+    features.extend((feature, True) for feature in categorical)
+    for position, (left, left_categorical) in enumerate(features):
+        for right, right_categorical in features[position:]:
+            if not left_categorical and not right_categorical:
+                value = float(results[f"sum:{left}*{right}"])
+                set_symmetric(index.position(left), index.position(right), value)
+            elif left_categorical and right_categorical:
+                grouped = results[f"count@{left},{right}"]
+                for key, value in grouped.items():  # type: ignore[union-attr]
+                    if left == right:
+                        set_symmetric(
+                            index.position(left, key[0]), index.position(right, key[0]), float(value)
+                        )
+                    else:
+                        set_symmetric(
+                            index.position(left, key[0]), index.position(right, key[1]), float(value)
+                        )
+            else:
+                continuous_feature = right if left_categorical else left
+                categorical_feature = left if left_categorical else right
+                grouped = results[f"sum:{continuous_feature}@{categorical_feature}"]
+                for key, value in grouped.items():  # type: ignore[union-attr]
+                    set_symmetric(
+                        index.position(continuous_feature),
+                        index.position(categorical_feature, key[0]),
+                        float(value),
+                    )
+    return SigmaMatrix(index, matrix)

@@ -1,0 +1,25 @@
+"""Multiset relational substrate.
+
+This package implements the in-memory relational layer that every other
+subsystem builds on.  Relations map tuples to integer multiplicities (the
+ring-of-integers view of Section 3.1 of the paper), which gives a uniform
+treatment of inserts and deletes and makes joins a sum-product computation.
+"""
+
+from repro.data.attribute import Attribute, AttributeType, Schema
+from repro.data.relation import Relation
+from repro.data.database import Database, FunctionalDependency
+from repro.data import algebra
+from repro.data.csv_io import read_csv, write_csv
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "Schema",
+    "Relation",
+    "Database",
+    "FunctionalDependency",
+    "algebra",
+    "read_csv",
+    "write_csv",
+]

@@ -1,0 +1,94 @@
+"""CSV import/export for relations.
+
+Values are parsed as ``int`` when possible, then ``float``, otherwise kept as
+strings.  Categorical attributes always keep their raw string form so category
+identity is stable regardless of lexical shape.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.data.attribute import Schema
+from repro.data.relation import Relation
+
+PathLike = Union[str, Path]
+
+
+def _parse_value(text: str) -> object:
+    text = text.strip()
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def read_csv(
+    path: PathLike,
+    name: Optional[str] = None,
+    schema: Optional[Schema] = None,
+    categorical: Optional[Iterable[str]] = None,
+    delimiter: str = ",",
+    has_header: bool = True,
+) -> Relation:
+    """Load a relation from a CSV file.
+
+    If ``schema`` is not given, a schema is inferred from the header row with
+    the attributes in ``categorical`` marked categorical and the rest
+    continuous.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        rows = list(reader)
+    if not rows:
+        raise ValueError(f"empty CSV file: {path}")
+
+    if has_header:
+        header, data_rows = rows[0], rows[1:]
+    else:
+        if schema is None:
+            raise ValueError("schema is required when the CSV has no header")
+        header, data_rows = list(schema.names), rows
+
+    if schema is None:
+        schema = Schema.from_names(header, categorical)
+
+    relation = Relation(name or path.stem, schema)
+    categorical_mask = [schema.is_categorical(column) for column in schema.names]
+    for raw_row in data_rows:
+        if not raw_row:
+            continue
+        parsed = tuple(
+            raw_value.strip() if is_categorical else _parse_value(raw_value)
+            for raw_value, is_categorical in zip(raw_row, categorical_mask)
+        )
+        relation.add(parsed)
+    return relation
+
+
+def write_csv(relation: Relation, path: PathLike, delimiter: str = ",",
+              expand_multiplicities: bool = True) -> None:
+    """Write a relation to CSV.
+
+    With ``expand_multiplicities`` each tuple is repeated according to its
+    multiplicity; otherwise a trailing ``__multiplicity`` column is written.
+    """
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        if expand_multiplicities:
+            writer.writerow(relation.schema.names)
+            for row in relation.expanded_rows():
+                writer.writerow(row)
+        else:
+            writer.writerow(list(relation.schema.names) + ["__multiplicity"])
+            for row, multiplicity in relation.items():
+                writer.writerow(list(row) + [multiplicity])

@@ -1,0 +1,240 @@
+"""Multiset relations: tuples mapped to integer multiplicities.
+
+A :class:`Relation` stores its rows in a dictionary ``tuple -> multiplicity``.
+Multiplicities live in the ring of integers, which gives the uniform treatment
+of inserts (+1) and deletes (-1) described in Section 3.1 of the paper, and
+means that a natural join multiplies multiplicities while a union adds them.
+Tuples whose multiplicity reaches zero are dropped from the map.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.data.attribute import Attribute, AttributeType, Schema, SchemaError
+
+Row = Tuple
+RowValue = object
+
+
+class RelationError(ValueError):
+    """Raised on malformed relation operations."""
+
+
+class Relation:
+    """A named multiset relation over a :class:`Schema`.
+
+    The relation maps each distinct tuple (a Python tuple aligned with the
+    schema's attribute order) to a non-zero integer multiplicity.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        rows: Optional[Iterable[Sequence[RowValue]]] = None,
+        multiplicities: Optional[Mapping[Row, int]] = None,
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self._data: Dict[Row, int] = {}
+        if multiplicities is not None:
+            for row, multiplicity in multiplicities.items():
+                self.add(tuple(row), multiplicity)
+        if rows is not None:
+            for row in rows:
+                self.add(tuple(row), 1)
+
+    # -- basic protocol ---------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self.schema)
+
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        return self.schema.names
+
+    def __len__(self) -> int:
+        """Number of distinct tuples (with non-zero multiplicity)."""
+        return len(self._data)
+
+    def total_multiplicity(self) -> int:
+        """Sum of multiplicities over all tuples."""
+        return sum(self._data.values())
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._data)
+
+    def __contains__(self, row: Sequence[RowValue]) -> bool:
+        return tuple(row) in self._data
+
+    def items(self) -> Iterator[Tuple[Row, int]]:
+        return iter(self._data.items())
+
+    def multiplicity(self, row: Sequence[RowValue]) -> int:
+        return self._data.get(tuple(row), 0)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.schema.names == other.schema.names and self._data == other._data
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, {self.schema}, {len(self)} tuples)"
+
+    # -- mutation ---------------------------------------------------------------
+
+    def add(self, row: Sequence[RowValue], multiplicity: int = 1) -> None:
+        """Add ``multiplicity`` copies of ``row`` (negative values delete)."""
+        if len(row) != self.arity:
+            raise RelationError(
+                f"row arity {len(row)} does not match schema arity {self.arity} "
+                f"of relation {self.name!r}"
+            )
+        if multiplicity == 0:
+            return
+        key = tuple(row)
+        updated = self._data.get(key, 0) + multiplicity
+        if updated == 0:
+            self._data.pop(key, None)
+        else:
+            self._data[key] = updated
+
+    def remove(self, row: Sequence[RowValue], multiplicity: int = 1) -> None:
+        """Remove ``multiplicity`` copies of ``row``."""
+        self.add(row, -multiplicity)
+
+    def insert_all(self, rows: Iterable[Sequence[RowValue]]) -> None:
+        for row in rows:
+            self.add(row, 1)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    # -- derived views -----------------------------------------------------------
+
+    def copy(self, name: Optional[str] = None) -> "Relation":
+        clone = Relation(name or self.name, self.schema)
+        clone._data = dict(self._data)
+        return clone
+
+    def empty_like(self, name: Optional[str] = None) -> "Relation":
+        return Relation(name or self.name, self.schema)
+
+    def rows(self) -> List[Row]:
+        """All distinct rows (multiplicity ignored)."""
+        return list(self._data)
+
+    def expanded_rows(self) -> Iterator[Row]:
+        """Iterate rows with positive multiplicity, repeated per multiplicity."""
+        for row, multiplicity in self._data.items():
+            if multiplicity < 0:
+                raise RelationError(
+                    "cannot expand a relation with negative multiplicities"
+                )
+            for _ in range(multiplicity):
+                yield row
+
+    def column(self, name: str) -> List[RowValue]:
+        """Distinct-row values of one attribute (multiplicity ignored)."""
+        index = self.schema.index_of(name)
+        return [row[index] for row in self._data]
+
+    def active_domain(self, name: str) -> List[RowValue]:
+        """Sorted distinct values of one attribute."""
+        index = self.schema.index_of(name)
+        return sorted({row[index] for row in self._data})
+
+    def row_dicts(self) -> Iterator[Dict[str, RowValue]]:
+        names = self.schema.names
+        for row in self._data:
+            yield dict(zip(names, row))
+
+    def sample_rows(self, count: int, seed: int = 0) -> List[Row]:
+        """Sample ``count`` distinct rows without replacement (deterministic)."""
+        rng = random.Random(seed)
+        rows = list(self._data)
+        if count >= len(rows):
+            return rows
+        return rng.sample(rows, count)
+
+    def head(self, count: int = 5) -> List[Row]:
+        out = []
+        for row in self._data:
+            out.append(row)
+            if len(out) >= count:
+                break
+        return out
+
+    # -- convenience constructors -------------------------------------------------
+
+    @staticmethod
+    def from_dicts(
+        name: str,
+        schema: Schema,
+        dict_rows: Iterable[Mapping[str, RowValue]],
+    ) -> "Relation":
+        relation = Relation(name, schema)
+        names = schema.names
+        for mapping in dict_rows:
+            relation.add(tuple(mapping[column] for column in names))
+        return relation
+
+    @staticmethod
+    def from_columns(
+        name: str,
+        schema: Schema,
+        columns: Mapping[str, Sequence[RowValue]],
+    ) -> "Relation":
+        names = schema.names
+        missing = [column for column in names if column not in columns]
+        if missing:
+            raise RelationError(f"missing columns {missing} for relation {name!r}")
+        lengths = {len(columns[column]) for column in names}
+        if len(lengths) > 1:
+            raise RelationError(f"columns have inconsistent lengths: {lengths}")
+        relation = Relation(name, schema)
+        length = lengths.pop() if lengths else 0
+        for position in range(length):
+            relation.add(tuple(columns[column][position] for column in names))
+        return relation
+
+    # -- pretty printing -----------------------------------------------------------
+
+    def to_table(self, limit: int = 10) -> str:
+        """ASCII rendering of (up to ``limit``) rows, for examples and docs."""
+        header = " | ".join(self.schema.names)
+        separator = "-" * len(header)
+        lines = [header, separator]
+        for position, (row, multiplicity) in enumerate(self._data.items()):
+            if position >= limit:
+                lines.append(f"... ({len(self) - limit} more rows)")
+                break
+            rendered = " | ".join(str(value) for value in row)
+            if multiplicity != 1:
+                rendered += f"  (x{multiplicity})"
+            lines.append(rendered)
+        return "\n".join(lines)
+
+
+def relation_from_rows(
+    name: str,
+    attribute_names: Sequence[str],
+    rows: Iterable[Sequence[RowValue]],
+    categorical: Optional[Iterable[str]] = None,
+) -> Relation:
+    """Convenience: build a relation from attribute names and row sequences."""
+    schema = Schema.from_names(list(attribute_names), categorical)
+    return Relation(name, schema, rows=rows)

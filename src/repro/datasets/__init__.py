@@ -1,0 +1,34 @@
+"""Synthetic datasets mirroring the schemas used in the paper's experiments.
+
+The generators produce snowflake/star schemas with the same join structure as
+the Retailer, Favorita, Yelp and TPC-DS datasets of Figures 3–6, scaled down so
+the pure-Python engines run in seconds.  The toy Orders/Dish/Items database of
+Figures 7–10 is reproduced exactly.
+"""
+
+from repro.datasets.toy import orders_database, orders_query
+from repro.datasets.retailer import retailer_database, retailer_query, RETAILER_FEATURES
+from repro.datasets.favorita import favorita_database, favorita_query, FAVORITA_FEATURES
+from repro.datasets.yelp import yelp_database, yelp_query, YELP_FEATURES
+from repro.datasets.tpcds import tpcds_database, tpcds_query, TPCDS_FEATURES
+from repro.datasets.registry import DATASETS, DatasetSpec, load_dataset
+
+__all__ = [
+    "orders_database",
+    "orders_query",
+    "retailer_database",
+    "retailer_query",
+    "RETAILER_FEATURES",
+    "favorita_database",
+    "favorita_query",
+    "FAVORITA_FEATURES",
+    "yelp_database",
+    "yelp_query",
+    "YELP_FEATURES",
+    "tpcds_database",
+    "tpcds_query",
+    "TPCDS_FEATURES",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+]

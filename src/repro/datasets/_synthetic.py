@@ -1,0 +1,39 @@
+"""Shared helpers for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["SyntheticGenerator"]
+
+
+class SyntheticGenerator:
+    """Deterministic pseudo-random value factory for dataset generators."""
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+
+    def integer(self, low: int, high: int) -> int:
+        return self.rng.randint(low, high)
+
+    def value(self, low: float, high: float, decimals: int = 2) -> float:
+        return round(self.rng.uniform(low, high), decimals)
+
+    def gaussian(self, mean: float, std: float, decimals: int = 2) -> float:
+        return round(self.rng.gauss(mean, std), decimals)
+
+    def choice(self, options: Sequence):
+        return self.rng.choice(options)
+
+    def category(self, prefix: str, count: int) -> str:
+        return f"{prefix}{self.rng.randint(0, count - 1)}"
+
+    def sample(self, options: Sequence, count: int) -> List:
+        count = min(count, len(options))
+        return self.rng.sample(list(options), count)
+
+    def shuffled(self, options: Sequence) -> List:
+        values = list(options)
+        self.rng.shuffle(values)
+        return values

@@ -1,0 +1,56 @@
+"""Registry of the benchmark datasets (Retailer, Favorita, Yelp, TPC-DS)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.data.database import Database
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.datasets.retailer import RETAILER_FEATURES, retailer_database, retailer_query
+from repro.datasets.favorita import FAVORITA_FEATURES, favorita_database, favorita_query
+from repro.datasets.yelp import YELP_FEATURES, yelp_database, yelp_query
+from repro.datasets.tpcds import TPCDS_FEATURES, tpcds_database, tpcds_query
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One benchmark dataset: how to build it and which features it exposes."""
+
+    name: str
+    database_factory: Callable[..., Database]
+    query_factory: Callable[[], ConjunctiveQuery]
+    features: Dict[str, object]
+
+    def load(self, **kwargs) -> Tuple[Database, ConjunctiveQuery]:
+        return self.database_factory(**kwargs), self.query_factory()
+
+    @property
+    def target(self) -> str:
+        return str(self.features["target"])
+
+    @property
+    def continuous_features(self) -> List[str]:
+        return list(self.features["continuous"])  # type: ignore[arg-type]
+
+    @property
+    def categorical_features(self) -> List[str]:
+        return list(self.features["categorical"])  # type: ignore[arg-type]
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    "retailer": DatasetSpec("retailer", retailer_database, retailer_query, RETAILER_FEATURES),
+    "favorita": DatasetSpec("favorita", favorita_database, favorita_query, FAVORITA_FEATURES),
+    "yelp": DatasetSpec("yelp", yelp_database, yelp_query, YELP_FEATURES),
+    "tpcds": DatasetSpec("tpcds", tpcds_database, tpcds_query, TPCDS_FEATURES),
+}
+
+
+def load_dataset(name: str, **kwargs) -> Tuple[Database, ConjunctiveQuery, DatasetSpec]:
+    """Load one of the four benchmark datasets by name."""
+    try:
+        spec = DATASETS[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(DATASETS)}") from exc
+    database, query = spec.load(**kwargs)
+    return database, query, spec

@@ -1,0 +1,73 @@
+"""The Orders/Dish/Items toy database of Figures 7–10.
+
+The data is reproduced verbatim from the paper so that tests and examples can
+check the exact factorisation sizes and aggregate values shown in the figures.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.data.attribute import Schema
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.query.conjunctive import ConjunctiveQuery
+
+
+def orders_database() -> Database:
+    """The three relations of Figure 7."""
+    orders_schema = Schema.from_names(
+        ["customer", "day", "dish"], categorical_names=["customer", "day", "dish"]
+    )
+    orders = Relation(
+        "Orders",
+        orders_schema,
+        rows=[
+            ("Elise", "Monday", "burger"),
+            ("Elise", "Friday", "burger"),
+            ("Steve", "Friday", "hotdog"),
+            ("Joe", "Friday", "hotdog"),
+        ],
+    )
+
+    dish_schema = Schema.from_names(["dish", "item"], categorical_names=["dish", "item"])
+    dish = Relation(
+        "Dish",
+        dish_schema,
+        rows=[
+            ("burger", "patty"),
+            ("burger", "onion"),
+            ("burger", "bun"),
+            ("hotdog", "bun"),
+            ("hotdog", "onion"),
+            ("hotdog", "sausage"),
+        ],
+    )
+
+    items_schema = Schema.from_names(["item", "price"], categorical_names=["item"])
+    items = Relation(
+        "Items",
+        items_schema,
+        rows=[
+            ("patty", 6),
+            ("onion", 2),
+            ("bun", 2),
+            ("sausage", 4),
+        ],
+    )
+
+    return Database([orders, dish, items], name="orders_toy")
+
+
+def orders_query() -> ConjunctiveQuery:
+    """The natural join Orders ⋈ Dish ⋈ Items."""
+    return ConjunctiveQuery(["Orders", "Dish", "Items"], name="orders_join")
+
+
+def orders_variable_order_spec() -> dict:
+    """The variable order of Figure 8 as a nested mapping.
+
+    dish is the root; day (with customer below) and item (with price below)
+    branch under it.
+    """
+    return {"dish": {"day": {"customer": {}}, "item": {"price": {}}}}

@@ -1,0 +1,473 @@
+"""View computation: one join-tree node at a time, bottom-up.
+
+A *view* is the partial result of (a shared group of) aggregates over the
+subtree rooted at a node: a map from the node's connection key (the join
+attributes shared with its parent) to a map from group-by assignments to the
+partial sum-product value.  Views are computed by scanning the node's relation
+once, combining each tuple with the already-computed views of the children.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as _np
+
+from repro.data.relation import Relation
+from repro.engine.plan import ViewSignature
+from repro.query.join_tree import JoinTreeNode
+
+# conn_key -> (group assignment as sorted (attribute, value) pairs) -> value
+View = Dict[Tuple, Dict[Tuple, float]]
+
+EMPTY_GROUP: Tuple = ()
+
+
+def restrict_signature(
+    signature: ViewSignature,
+    child: JoinTreeNode,
+    designation: Mapping[str, str],
+) -> ViewSignature:
+    """Restrict a signature to the subtree of one child node."""
+    child_relations = {node.relation_name for node in child.subtree_nodes()}
+    product = tuple(
+        (attribute, exponent)
+        for attribute, exponent in signature.product
+        if designation[attribute] in child_relations
+    )
+    group_by = tuple(
+        attribute for attribute in signature.group_by if designation[attribute] in child_relations
+    )
+    filters = tuple(
+        condition
+        for condition in signature.filters
+        if designation[condition.attribute] in child_relations
+    )
+    return ViewSignature(
+        relation_name=child.relation_name,
+        product=product,
+        group_by=group_by,
+        filters=filters,
+    )
+
+
+@dataclass
+class _SignatureTask:
+    """Pre-resolved evaluation metadata for one signature at one node."""
+
+    signature: ViewSignature
+    local_product: List[Tuple[int, int]]          # (column position, exponent)
+    local_group: List[Tuple[str, int]]            # (attribute, column position)
+    local_filters: List[Tuple[int, object]]       # (column position, Filter)
+    child_views: List[Tuple[List[int], View]]     # (child conn positions, child view)
+    result: View
+
+
+def _prepare_task(
+    node: JoinTreeNode,
+    relation: Relation,
+    signature: ViewSignature,
+    designation: Mapping[str, str],
+    child_views: Mapping[Tuple[str, ViewSignature], View],
+) -> _SignatureTask:
+    schema = relation.schema
+    here = node.relation_name
+
+    local_product = [
+        (schema.index_of(attribute), exponent)
+        for attribute, exponent in signature.product
+        if designation[attribute] == here
+    ]
+    local_group = [
+        (attribute, schema.index_of(attribute))
+        for attribute in signature.group_by
+        if designation[attribute] == here
+    ]
+    local_filters = [
+        (schema.index_of(condition.attribute), condition)
+        for condition in signature.filters
+        if designation[condition.attribute] == here
+    ]
+
+    children: List[Tuple[List[int], View]] = []
+    for child in node.children:
+        child_signature = restrict_signature(signature, child, designation)
+        view = child_views[(child.relation_name, child_signature)]
+        child_conn = sorted(child.attributes & node.attributes)
+        positions = [schema.index_of(attribute) for attribute in child_conn]
+        children.append((positions, view))
+
+    return _SignatureTask(
+        signature=signature,
+        local_product=local_product,
+        local_group=local_group,
+        local_filters=local_filters,
+        child_views=children,
+        result={},
+    )
+
+
+def _scan_specialized(
+    relation: Relation,
+    conn_positions: Sequence[int],
+    tasks: Sequence[_SignatureTask],
+) -> None:
+    """Single scan of ``relation`` computing all ``tasks`` (position-based access)."""
+    for row, multiplicity in relation.items():
+        conn_key = tuple(row[position] for position in conn_positions)
+        for task in tasks:
+            alive = True
+            for position, condition in task.local_filters:
+                if not condition.test(row[position]):
+                    alive = False
+                    break
+            if not alive:
+                continue
+
+            factor = float(multiplicity)
+            for position, exponent in task.local_product:
+                factor *= float(row[position]) ** exponent
+
+            partial: List[Tuple[Tuple, float]] = [
+                (
+                    tuple((attribute, row[position]) for attribute, position in task.local_group),
+                    factor,
+                )
+            ]
+            for child_positions, child_view in task.child_views:
+                child_key = tuple(row[position] for position in child_positions)
+                entries = child_view.get(child_key)
+                if not entries:
+                    alive = False
+                    break
+                expanded: List[Tuple[Tuple, float]] = []
+                for group_pairs, value in partial:
+                    for child_pairs, child_value in entries.items():
+                        expanded.append((group_pairs + child_pairs, value * child_value))
+                partial = expanded
+            if not alive:
+                continue
+
+            groups = task.result.setdefault(conn_key, {})
+            for group_pairs, value in partial:
+                key = tuple(sorted(group_pairs)) if group_pairs else EMPTY_GROUP
+                groups[key] = groups.get(key, 0.0) + value
+
+
+def _scan_interpreted(
+    relation: Relation,
+    conn_attributes: Sequence[str],
+    tasks: Sequence[_SignatureTask],
+    node: JoinTreeNode,
+    designation: Mapping[str, str],
+) -> None:
+    """Row-dict based scan: the unspecialised (interpretation-heavy) code path.
+
+    This models an engine without workload compilation: every row is converted
+    to a dictionary and every attribute access resolves names at runtime.
+    """
+    names = relation.schema.names
+    here = node.relation_name
+    for row, multiplicity in relation.items():
+        row_dict = dict(zip(names, row))
+        conn_key = tuple(row_dict[attribute] for attribute in conn_attributes)
+        for task in tasks:
+            signature = task.signature
+            alive = True
+            for condition in signature.filters:
+                if designation[condition.attribute] == here and not condition.test(
+                    row_dict[condition.attribute]
+                ):
+                    alive = False
+                    break
+            if not alive:
+                continue
+
+            factor = float(multiplicity)
+            for attribute, exponent in signature.product:
+                if designation[attribute] == here:
+                    factor *= float(row_dict[attribute]) ** exponent
+
+            local_group = tuple(
+                (attribute, row_dict[attribute])
+                for attribute in signature.group_by
+                if designation[attribute] == here
+            )
+            partial: List[Tuple[Tuple, float]] = [(local_group, factor)]
+            for child_positions, child_view in task.child_views:
+                child_key = tuple(row[position] for position in child_positions)
+                entries = child_view.get(child_key)
+                if not entries:
+                    alive = False
+                    break
+                expanded: List[Tuple[Tuple, float]] = []
+                for group_pairs, value in partial:
+                    for child_pairs, child_value in entries.items():
+                        expanded.append((group_pairs + child_pairs, value * child_value))
+                partial = expanded
+            if not alive:
+                continue
+
+            groups = task.result.setdefault(conn_key, {})
+            for group_pairs, value in partial:
+                key = tuple(sorted(group_pairs)) if group_pairs else EMPTY_GROUP
+                groups[key] = groups.get(key, 0.0) + value
+
+
+class _NodeContext:
+    """Shared, columnar precomputations for one scan group at a node.
+
+    This is the engine's model of workload compilation: the relation is turned
+    into columns, child-view lookups are aligned to row positions once per
+    distinct child signature, filters become boolean masks, and group-by key
+    combinations become integer codes — after which every signature reduces to
+    a handful of vectorised numpy operations.
+    """
+
+    def __init__(self, node: JoinTreeNode, relation: Relation, conn_attributes: Sequence[str]):
+        self.node = node
+        self.relation = relation
+        self.conn_attributes = tuple(conn_attributes)
+        self.rows: List[Tuple] = []
+        multiplicities: List[float] = []
+        for row, multiplicity in relation.items():
+            self.rows.append(row)
+            multiplicities.append(float(multiplicity))
+        self.multiplicities = _np.asarray(multiplicities, dtype=float)
+        self.row_count = len(self.rows)
+        conn_positions = [relation.schema.index_of(attribute) for attribute in conn_attributes]
+        self.conn_keys: List[Tuple] = [
+            tuple(row[position] for position in conn_positions) for row in self.rows
+        ]
+        self._float_columns: Dict[str, Optional[_np.ndarray]] = {}
+        self._filter_masks: Dict[object, _np.ndarray] = {}
+        self._alignments: Dict[object, Optional[Tuple[_np.ndarray, Optional[List[Tuple]]]]] = {}
+        self._key_codes: Dict[object, Tuple[_np.ndarray, List[Tuple[Tuple, Tuple]]]] = {}
+
+    # -- columns, filters -----------------------------------------------------------------
+
+    def float_column(self, attribute: str) -> Optional[_np.ndarray]:
+        if attribute not in self._float_columns:
+            position = self.relation.schema.index_of(attribute)
+            try:
+                column = _np.asarray(
+                    [float(row[position]) for row in self.rows], dtype=float
+                )
+            except (TypeError, ValueError):
+                column = None
+            self._float_columns[attribute] = column
+        return self._float_columns[attribute]
+
+    def filter_mask(self, condition) -> _np.ndarray:
+        key = (condition.attribute, condition.op, repr(condition.value))
+        mask = self._filter_masks.get(key)
+        if mask is None:
+            position = self.relation.schema.index_of(condition.attribute)
+            mask = _np.fromiter(
+                (condition.test(row[position]) for row in self.rows),
+                dtype=bool,
+                count=self.row_count,
+            )
+            self._filter_masks[key] = mask
+        return mask
+
+    # -- child-view alignment -----------------------------------------------------------------
+
+    def child_alignment(
+        self, child_name: str, child_signature: ViewSignature,
+        positions: Sequence[int], child_view: View,
+    ) -> Optional[Tuple[_np.ndarray, Optional[List[Tuple]]]]:
+        """Per-row child factors (and group pairs) or None when not vectorisable."""
+        key = (child_name, child_signature)
+        if key in self._alignments:
+            return self._alignments[key]
+
+        # Vectorisable only when every join key maps to at most one group entry.
+        single_entry = all(len(groups) <= 1 for groups in child_view.values())
+        if not single_entry:
+            self._alignments[key] = None
+            return None
+
+        factors = _np.zeros(self.row_count)
+        has_groups = any(
+            next(iter(groups), EMPTY_GROUP) != EMPTY_GROUP for groups in child_view.values()
+        )
+        group_pairs: Optional[List[Tuple]] = [EMPTY_GROUP] * self.row_count if has_groups else None
+        for index, row in enumerate(self.rows):
+            child_key = tuple(row[position] for position in positions)
+            entries = child_view.get(child_key)
+            if not entries:
+                continue  # dead row: factor stays 0
+            pairs, value = next(iter(entries.items()))
+            factors[index] = value
+            if group_pairs is not None:
+                group_pairs[index] = pairs
+        alignment = (factors, group_pairs)
+        self._alignments[key] = alignment
+        return alignment
+
+    # -- combined key codes ------------------------------------------------------------------------
+
+    def key_codes(
+        self,
+        cache_key: object,
+        local_group: Sequence[Tuple[str, int]],
+        child_group_sources: Sequence[List[Tuple]],
+    ) -> Tuple[_np.ndarray, List[Tuple[Tuple, Tuple]]]:
+        """Integer codes per row for the combination (conn key, group-by pairs)."""
+        cached = self._key_codes.get(cache_key)
+        if cached is not None:
+            return cached
+        codes = _np.empty(self.row_count, dtype=_np.int64)
+        uniques: List[Tuple[Tuple, Tuple]] = []
+        index_of: Dict[Tuple[Tuple, Tuple], int] = {}
+        for index, row in enumerate(self.rows):
+            pairs: Tuple = tuple(
+                (attribute, row[position]) for attribute, position in local_group
+            )
+            for source in child_group_sources:
+                pairs = pairs + source[index]
+            combined = (self.conn_keys[index], tuple(sorted(pairs)) if pairs else EMPTY_GROUP)
+            code = index_of.get(combined)
+            if code is None:
+                code = len(uniques)
+                index_of[combined] = code
+                uniques.append(combined)
+            codes[index] = code
+        result = (codes, uniques)
+        self._key_codes[cache_key] = result
+        return result
+
+
+def _evaluate_vectorized(
+    context: _NodeContext,
+    node: JoinTreeNode,
+    relation: Relation,
+    signature: ViewSignature,
+    designation: Mapping[str, str],
+    child_views: Mapping[Tuple[str, ViewSignature], View],
+) -> Optional[View]:
+    """Vectorised evaluation of one signature; None when it must fall back."""
+    here = node.relation_name
+    schema = relation.schema
+    if context.row_count == 0:
+        return {}
+
+    values = context.multiplicities.copy()
+
+    for attribute, exponent in signature.product:
+        if designation[attribute] != here:
+            continue
+        column = context.float_column(attribute)
+        if column is None:
+            return None
+        values = values * (column ** exponent)
+
+    child_group_sources: List[List[Tuple]] = []
+    child_source_names: List[Tuple[str, ViewSignature]] = []
+    for child in node.children:
+        child_signature = restrict_signature(signature, child, designation)
+        view = child_views[(child.relation_name, child_signature)]
+        positions = [
+            schema.index_of(attribute) for attribute in sorted(child.attributes & node.attributes)
+        ]
+        alignment = context.child_alignment(
+            child.relation_name, child_signature, positions, view
+        )
+        if alignment is None:
+            return None
+        factors, group_pairs = alignment
+        values = values * factors
+        if group_pairs is not None:
+            child_group_sources.append(group_pairs)
+            child_source_names.append((child.relation_name, child_signature))
+
+    mask: Optional[_np.ndarray] = None
+    for condition in signature.filters:
+        if designation[condition.attribute] != here:
+            continue
+        condition_mask = context.filter_mask(condition)
+        mask = condition_mask if mask is None else (mask & condition_mask)
+    if mask is not None:
+        values = values * mask
+
+    local_group = [
+        (attribute, schema.index_of(attribute))
+        for attribute in signature.group_by
+        if designation[attribute] == here
+    ]
+    cache_key = (tuple(attribute for attribute, _ in local_group), tuple(child_source_names))
+    codes, uniques = context.key_codes(cache_key, local_group, child_group_sources)
+    sums = _np.bincount(codes, weights=values, minlength=len(uniques))
+
+    view: View = {}
+    for position, (conn_key, group_pairs) in enumerate(uniques):
+        total = float(sums[position])
+        if total == 0.0:
+            continue
+        groups = view.setdefault(conn_key, {})
+        groups[group_pairs] = groups.get(group_pairs, 0.0) + total
+    return view
+
+
+def compute_node_views(
+    node: JoinTreeNode,
+    relation: Relation,
+    signatures: Sequence[ViewSignature],
+    designation: Mapping[str, str],
+    child_views: Mapping[Tuple[str, ViewSignature], View],
+    specialize: bool = True,
+    share_scans: bool = True,
+) -> Dict[ViewSignature, View]:
+    """Compute the views for all ``signatures`` at one node.
+
+    With ``specialize`` the evaluation is compiled to columnar numpy operations
+    (with a tuple-at-a-time fallback for signatures the fast path cannot
+    handle); without it every row is interpreted through dictionary lookups.
+    ``share_scans=True`` shares the per-node precomputation (and the scan)
+    across all signatures; otherwise each signature re-scans the relation.
+    """
+    conn_attributes = sorted(node.connection_attributes())
+    conn_positions = [relation.schema.index_of(attribute) for attribute in conn_attributes]
+
+    results: Dict[ViewSignature, View] = {}
+
+    if specialize:
+        context: Optional[_NodeContext] = None
+        fallback: List[ViewSignature] = []
+        for signature in signatures:
+            if signature in results and share_scans:
+                continue
+            if context is None or not share_scans:
+                context = _NodeContext(node, relation, conn_attributes)
+            view = _evaluate_vectorized(
+                context, node, relation, signature, designation, child_views
+            )
+            if view is None:
+                fallback.append(signature)
+            else:
+                results[signature] = view
+        remaining = fallback
+    else:
+        remaining = list(signatures)
+
+    if remaining:
+        tasks = [
+            _prepare_task(node, relation, signature, designation, child_views)
+            for signature in remaining
+        ]
+        task_groups: List[List[_SignatureTask]]
+        if share_scans:
+            task_groups = [list(tasks)]
+        else:
+            task_groups = [[task] for task in tasks]
+        for group in task_groups:
+            if specialize:
+                _scan_specialized(relation, conn_positions, group)
+            else:
+                _scan_interpreted(relation, conn_attributes, group, node, designation)
+        for task in tasks:
+            results[task.signature] = task.result
+
+    return {signature: results[signature] for signature in signatures}

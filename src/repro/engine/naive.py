@@ -1,0 +1,130 @@
+"""Baseline engines: evaluate the batch one aggregate at a time over the join.
+
+``MaterializedJoinEngine`` models what a classical DBMS (or the
+PostgreSQL-based pipeline of Figure 3) does with an aggregate batch: compute
+the feature-extraction join once, then answer every aggregate with an
+independent scan of the materialised result.  There is no cross-aggregate
+sharing, which is exactly what Figure 4 (left) isolates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.aggregates.spec import Aggregate, AggregateBatch
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.query.conjunctive import ConjunctiveQuery
+
+AggregateValue = Union[float, Dict[Tuple, float]]
+
+
+def evaluate_aggregate_over_rows(
+    aggregate: Aggregate,
+    rows: Sequence[Tuple[Mapping[str, object], int]],
+) -> AggregateValue:
+    """Evaluate one aggregate by scanning (row dict, multiplicity) pairs."""
+    grouped: Dict[Tuple, float] = {}
+    scalar = 0.0
+    for row, multiplicity in rows:
+        passes = all(condition.test(row[condition.attribute]) for condition in aggregate.filters)
+        if passes and aggregate.inequality is not None:
+            passes = aggregate.inequality.test(row)
+        if not passes:
+            continue
+        value = float(multiplicity)
+        for attribute in aggregate.product:
+            value *= float(row[attribute])  # type: ignore[arg-type]
+        if aggregate.group_by:
+            key = tuple(row[attribute] for attribute in aggregate.group_by)
+            grouped[key] = grouped.get(key, 0.0) + value
+        else:
+            scalar += value
+    return grouped if aggregate.group_by else scalar
+
+
+@dataclass
+class NaiveBatchResult:
+    """Results plus timing split into join materialisation and aggregate scans."""
+
+    batch: AggregateBatch
+    values: Dict[str, AggregateValue]
+    join_seconds: float = 0.0
+    aggregate_seconds: float = 0.0
+    join_rows: int = 0
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.join_seconds + self.aggregate_seconds
+
+    def __getitem__(self, name: str) -> AggregateValue:
+        return self.values[name]
+
+    def scalar(self, name: str) -> float:
+        value = self.values[name]
+        if isinstance(value, dict):
+            raise TypeError(f"aggregate {name!r} is grouped")
+        return float(value)
+
+    def grouped(self, name: str) -> Dict[Tuple, float]:
+        value = self.values[name]
+        if not isinstance(value, dict):
+            raise TypeError(f"aggregate {name!r} is scalar")
+        return value
+
+    def as_mapping(self) -> Dict[str, AggregateValue]:
+        return dict(self.values)
+
+
+class MaterializedJoinEngine:
+    """One-aggregate-at-a-time evaluation over the materialised join."""
+
+    def __init__(self, database: Database, query: ConjunctiveQuery) -> None:
+        self.database = database
+        self.query = query
+        self._join: Optional[Relation] = None
+        self._rows: Optional[List[Tuple[Dict[str, object], int]]] = None
+
+    def materialize(self) -> Relation:
+        """Materialise (and cache) the feature-extraction join."""
+        if self._join is None:
+            self._join = self.query.evaluate(self.database)
+            names = self._join.schema.names
+            self._rows = [
+                (dict(zip(names, row)), multiplicity)
+                for row, multiplicity in self._join.items()
+            ]
+        return self._join
+
+    def invalidate(self) -> None:
+        """Drop the cached join (used after updates to the base relations)."""
+        self._join = None
+        self._rows = None
+
+    def evaluate(self, batch: AggregateBatch) -> NaiveBatchResult:
+        started = time.perf_counter()
+        joined = self.materialize()
+        join_seconds = time.perf_counter() - started
+        assert self._rows is not None
+
+        values: Dict[str, AggregateValue] = {}
+        started = time.perf_counter()
+        for aggregate in batch:
+            name = aggregate.name or "aggregate"
+            if name in values:
+                suffix = 2
+                while f"{name}#{suffix}" in values:
+                    suffix += 1
+                name = f"{name}#{suffix}"
+            values[name] = evaluate_aggregate_over_rows(aggregate, self._rows)
+        aggregate_seconds = time.perf_counter() - started
+
+        return NaiveBatchResult(
+            batch=batch,
+            values=values,
+            join_seconds=join_seconds,
+            aggregate_seconds=aggregate_seconds,
+            join_rows=len(joined),
+        )

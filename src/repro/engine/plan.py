@@ -1,0 +1,219 @@
+"""Planning: decomposing an aggregate batch over a join tree.
+
+Every attribute of the query is *designated* to exactly one join-tree node
+(the deepest node whose relation contains it), so that each attribute
+contributes its factor, group-by key or filter exactly once.  The restriction
+of an aggregate to the subtree rooted at a node — its :class:`ViewSignature` —
+determines the partial view computed at that node.  Aggregates with equal
+signatures at a node share the view; this is the cross-aggregate sharing that
+LMFAO exploits (Section 4, "Sharing computation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.aggregates.spec import Aggregate, AggregateBatch, Filter
+from repro.query.join_tree import JoinTree, JoinTreeNode
+
+
+@dataclass(frozen=True)
+class ViewSignature:
+    """The restriction of an aggregate to the subtree of one join-tree node.
+
+    Two aggregates with the same signature at a node need the same partial
+    view there and therefore share its computation.
+    """
+
+    relation_name: str
+    product: Tuple[Tuple[str, int], ...]       # (attribute, exponent), sorted
+    group_by: Tuple[str, ...]                   # sorted group-by attributes in the subtree
+    filters: Tuple[Filter, ...]                 # filters on attributes in the subtree, sorted
+
+    def is_count_only(self) -> bool:
+        """True when the view degenerates to a per-key COUNT."""
+        return not self.product and not self.group_by and not self.filters
+
+
+@dataclass
+class AggregateDecomposition:
+    """Where each attribute of one aggregate is handled in the join tree."""
+
+    aggregate: Aggregate
+    signatures: Dict[str, ViewSignature]        # relation name -> signature at that node
+    root_signature: ViewSignature
+
+    def signature_at(self, relation_name: str) -> ViewSignature:
+        return self.signatures[relation_name]
+
+
+@dataclass
+class BatchPlan:
+    """The full plan for a batch: designations, signatures, and view groups."""
+
+    join_tree: JoinTree
+    designation: Dict[str, str]                               # attribute -> relation name
+    decompositions: List[AggregateDecomposition]
+    views_per_node: Dict[str, List[ViewSignature]]            # relation name -> distinct signatures
+    unsupported: List[Aggregate] = field(default_factory=list)
+
+    @property
+    def total_views(self) -> int:
+        return sum(len(signatures) for signatures in self.views_per_node.values())
+
+    @property
+    def total_views_without_sharing(self) -> int:
+        return len(self.decompositions) * len(self.views_per_node)
+
+    def sharing_factor(self) -> float:
+        """How many per-aggregate views collapse into one shared view on average."""
+        if self.total_views == 0:
+            return 1.0
+        return self.total_views_without_sharing / self.total_views
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "aggregates": len(self.decompositions),
+            "nodes": len(self.views_per_node),
+            "views": self.total_views,
+            "views_without_sharing": self.total_views_without_sharing,
+            "sharing_factor": round(self.sharing_factor(), 2),
+            "unsupported": len(self.unsupported),
+        }
+
+
+def designate_attributes(join_tree: JoinTree) -> Dict[str, str]:
+    """Assign every attribute to the deepest join-tree node containing it.
+
+    Depth ties are broken by relation name so the designation is deterministic.
+    """
+    depths: Dict[str, int] = {}
+
+    def assign_depths(node: JoinTreeNode, depth: int) -> None:
+        depths[node.relation_name] = depth
+        for child in node.children:
+            assign_depths(child, depth + 1)
+
+    assign_depths(join_tree.root, 0)
+
+    designation: Dict[str, str] = {}
+    for node in join_tree.nodes():
+        for attribute in node.attributes:
+            current = designation.get(attribute)
+            if current is None:
+                designation[attribute] = node.relation_name
+                continue
+            current_rank = (depths[current], current)
+            candidate_rank = (depths[node.relation_name], node.relation_name)
+            if candidate_rank > current_rank:
+                designation[attribute] = node.relation_name
+    return designation
+
+
+def _signature_for_subtree(
+    aggregate: Aggregate,
+    node: JoinTreeNode,
+    designation: Mapping[str, str],
+) -> ViewSignature:
+    """The restriction of ``aggregate`` to the nodes of ``node``'s subtree."""
+    subtree_relations = {child.relation_name for child in node.subtree_nodes()}
+
+    product_counts: Dict[str, int] = {}
+    for attribute, exponent in aggregate.product_multiplicities().items():
+        if designation[attribute] in subtree_relations:
+            product_counts[attribute] = exponent
+    group_by = tuple(
+        sorted(
+            attribute
+            for attribute in aggregate.group_by
+            if designation[attribute] in subtree_relations
+        )
+    )
+    filters = tuple(
+        sorted(
+            (
+                condition
+                for condition in aggregate.filters
+                if designation[condition.attribute] in subtree_relations
+            ),
+            key=lambda condition: (condition.attribute, condition.op.value, str(condition.value)),
+        )
+    )
+    return ViewSignature(
+        relation_name=node.relation_name,
+        product=tuple(sorted(product_counts.items())),
+        group_by=group_by,
+        filters=filters,
+    )
+
+
+def decompose_aggregate(
+    aggregate: Aggregate,
+    join_tree: JoinTree,
+    designation: Mapping[str, str],
+) -> AggregateDecomposition:
+    """Decompose one aggregate into its per-node view signatures."""
+    signatures = {
+        node.relation_name: _signature_for_subtree(aggregate, node, designation)
+        for node in join_tree.nodes()
+    }
+    return AggregateDecomposition(
+        aggregate=aggregate,
+        signatures=signatures,
+        root_signature=signatures[join_tree.root.relation_name],
+    )
+
+
+def plan_batch(
+    batch: AggregateBatch,
+    join_tree: JoinTree,
+    share_views: bool = True,
+) -> BatchPlan:
+    """Plan a batch over a join tree.
+
+    With ``share_views`` the distinct signatures per node are deduplicated
+    (LMFAO's sharing); without it every aggregate keeps its own copies, which
+    models the baseline engines that evaluate the batch one aggregate at a
+    time.  Aggregates with additive-inequality conditions cannot be pushed
+    past joins and are reported in ``unsupported`` so the engine can fall back
+    to evaluation over the join for them.
+    """
+    known_attributes = join_tree.attributes()
+    designation = designate_attributes(join_tree)
+    decompositions: List[AggregateDecomposition] = []
+    unsupported: List[Aggregate] = []
+
+    for aggregate in batch:
+        if aggregate.inequality is not None:
+            unsupported.append(aggregate)
+            continue
+        missing = [
+            attribute for attribute in aggregate.attributes() if attribute not in known_attributes
+        ]
+        if missing:
+            raise ValueError(
+                f"aggregate {aggregate.name!r} references attributes {missing} "
+                "that do not occur in the query"
+            )
+        decompositions.append(decompose_aggregate(aggregate, join_tree, designation))
+
+    views_per_node: Dict[str, List[ViewSignature]] = {
+        node.relation_name: [] for node in join_tree.nodes()
+    }
+    for decomposition in decompositions:
+        for relation_name, signature in decomposition.signatures.items():
+            existing = views_per_node[relation_name]
+            if share_views:
+                if signature not in existing:
+                    existing.append(signature)
+            else:
+                existing.append(signature)
+
+    return BatchPlan(
+        join_tree=join_tree,
+        designation=designation,
+        decompositions=decompositions,
+        views_per_node=views_per_node,
+        unsupported=unsupported,
+    )

@@ -1,0 +1,34 @@
+"""Factorised databases (Section 5.1).
+
+A factorised representation of a join result is a DAG over union and product
+nodes, modelled on a variable order.  It can be exponentially smaller than the
+flat result, can be computed directly from the input relations in time
+proportional to its size, and supports aggregate evaluation in a single pass
+by mapping values into a (semi)ring.
+"""
+
+from repro.factorized.frepr import (
+    FactorizedRelation,
+    ProductNode,
+    UnionNode,
+    ValueLeaf,
+)
+from repro.factorized.factorize import factorize_join
+from repro.factorized.aggregates import (
+    aggregate_over_factorization,
+    count_over_factorization,
+    group_by_sum_over_factorization,
+    sum_product_over_factorization,
+)
+
+__all__ = [
+    "FactorizedRelation",
+    "UnionNode",
+    "ProductNode",
+    "ValueLeaf",
+    "factorize_join",
+    "aggregate_over_factorization",
+    "count_over_factorization",
+    "sum_product_over_factorization",
+    "group_by_sum_over_factorization",
+]

@@ -1,0 +1,113 @@
+"""Running the IFAQ compilation stages and measuring their cost.
+
+``compile_and_run`` evaluates every stage of the Section 5.3 gradient-descent
+program on the same database, checks that all stages compute the same model
+parameters, and reports the interpreter's operation counters per stage — the
+quantitative effect of each rewrite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.data.database import Database
+from repro.ifaq.expr import OperationCounter, evaluate
+from repro.ifaq.gradient_program import (
+    EXAMPLE_FIELD_ORDER,
+    GradientProgramStages,
+    build_stage_programs,
+    join_as_dictionary,
+    relation_as_dictionary,
+)
+from repro.query.conjunctive import ConjunctiveQuery
+
+
+@dataclass
+class StageOutcome:
+    """Result and cost of one compilation stage."""
+
+    name: str
+    parameters: Dict[str, float]
+    operations: Dict[str, int]
+    needs_join: bool
+
+
+@dataclass
+class CompilationReport:
+    """All stage outcomes plus the sizes of the inputs each stage needs."""
+
+    stages: List[StageOutcome] = field(default_factory=list)
+    join_size: int = 0
+    base_sizes: Dict[str, int] = field(default_factory=dict)
+
+    def stage(self, name: str) -> StageOutcome:
+        for outcome in self.stages:
+            if outcome.name == name:
+                return outcome
+        raise KeyError(name)
+
+    def operation_table(self) -> List[Tuple[str, int, int, int]]:
+        """Rows of (stage, arithmetic, dynamic lookups, total) for reporting."""
+        return [
+            (
+                outcome.name,
+                outcome.operations["arithmetic"],
+                outcome.operations["dynamic_lookups"],
+                outcome.operations["total"],
+            )
+            for outcome in self.stages
+        ]
+
+    def parameters_agree(self, tolerance: float = 1e-6) -> bool:
+        if not self.stages:
+            return True
+        reference = self.stages[0].parameters
+        for outcome in self.stages[1:]:
+            for feature, value in reference.items():
+                if abs(outcome.parameters.get(feature, float("nan")) - value) > tolerance:
+                    return False
+        return True
+
+
+def compile_and_run(
+    database: Database,
+    query: ConjunctiveQuery,
+    iterations: int = 10,
+    learning_rate: float = 1e-6,
+    relation_roles: Optional[Mapping[str, str]] = None,
+) -> CompilationReport:
+    """Evaluate every stage of the gradient program over ``database``.
+
+    ``relation_roles`` maps the IR relation names ``S``, ``R`` and ``I`` to the
+    database's relation names (defaults to identical names).
+    """
+    roles = dict(relation_roles or {"S": "S", "R": "R", "I": "I"})
+    stages: GradientProgramStages = build_stage_programs(iterations, learning_rate)
+
+    join_dictionary = join_as_dictionary(database, query, EXAMPLE_FIELD_ORDER)
+    base_dictionaries = {
+        ir_name: relation_as_dictionary(database, database_name)
+        for ir_name, database_name in roles.items()
+    }
+
+    report = CompilationReport(
+        join_size=len(join_dictionary),
+        base_sizes={name: len(dictionary) for name, dictionary in base_dictionaries.items()},
+    )
+    for name, program in stages.stages.items():
+        needs_join = "Q" in program.free_variables()
+        environment: Dict[str, object] = dict(base_dictionaries)
+        if needs_join:
+            environment["Q"] = join_dictionary
+        counter = OperationCounter()
+        parameters = evaluate(program, environment, counter)
+        report.stages.append(
+            StageOutcome(
+                name=name,
+                parameters={feature: float(value) for feature, value in parameters.items()},
+                operations=counter.as_dict(),
+                needs_join=needs_join,
+            )
+        )
+    return report

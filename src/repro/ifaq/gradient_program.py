@@ -1,0 +1,330 @@
+"""The Section 5.3 gradient-descent program at its successive compilation stages.
+
+The running example learns a linear regression model over the join
+``Q = S(i, s, u) ⋈ R(s, c) ⋈ I(i, p)`` with features ``{i, s, c, p}`` and
+response ``u``.  Five stages of the same program are provided; every stage is
+an IR expression that evaluates to the parameter dictionary θ, and each stage
+does strictly less interpreter work than the previous one:
+
+0. ``naive``            — every gradient-descent iteration scans sup(Q);
+1. ``memoised``         — the covariance dictionary M and the correlation
+                          vector C are named (static memoisation) but still
+                          recomputed inside the loop;
+2. ``hoisted``          — loop-invariant code motion moves M and C out of the
+                          loop (derived from stage 1 by
+                          :func:`repro.ifaq.transforms.hoist_invariant_lets`);
+3. ``specialised``      — record accesses become static field accesses
+                          (derived from stage 2 by
+                          :func:`repro.ifaq.transforms.specialize_field_access`);
+4. ``pushed_down``      — M and C are computed by sum-product expressions over
+                          the base relations (aggregate pushdown past the
+                          join), so sup(Q) is never enumerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.data.database import Database
+from repro.ifaq.expr import (
+    BinOp,
+    Const,
+    DictOver,
+    Expr,
+    GroupSum,
+    IterateLoop,
+    Let,
+    Lookup,
+    MakeDict,
+    Record,
+    SumOver,
+    Var,
+)
+from repro.ifaq.transforms import hoist_invariant_lets, specialize_field_access
+from repro.query.conjunctive import ConjunctiveQuery
+
+#: The features of the Section 5.3 example (the response ``u`` is excluded).
+EXAMPLE_FEATURES: Tuple[str, ...] = ("i", "s", "c", "p")
+EXAMPLE_RESPONSE: str = "u"
+EXAMPLE_FIELD_ORDER: Tuple[str, ...] = ("i", "s", "u", "c", "p")
+
+
+def join_as_dictionary(
+    database: Database, query: ConjunctiveQuery, fields: Sequence[str] = EXAMPLE_FIELD_ORDER
+) -> Dict[Record, int]:
+    """Materialise the join as an IFAQ dictionary mapping records to multiplicities."""
+    joined = query.evaluate(database)
+    names = joined.schema.names
+    result: Dict[Record, int] = {}
+    for row, multiplicity in joined.items():
+        assignment = dict(zip(names, row))
+        record = Record({field: float(assignment[field]) for field in fields})
+        result[record] = result.get(record, 0) + multiplicity
+    return result
+
+
+def relation_as_dictionary(database: Database, relation_name: str) -> Dict[Record, int]:
+    """One base relation as an IFAQ dictionary (numeric fields only)."""
+    relation = database.relation(relation_name)
+    names = relation.schema.names
+    result: Dict[Record, int] = {}
+    for row, multiplicity in relation.items():
+        record = Record({name: float(value) for name, value in zip(names, row)})
+        result[record] = result.get(record, 0) + multiplicity
+    return result
+
+
+# -- building blocks --------------------------------------------------------------------------------
+
+
+def _lookup(container: str, key: Expr) -> Lookup:
+    return Lookup(Var(container), key)
+
+
+def _x(field: str) -> Expr:
+    """Dynamic record access ``x(field)``."""
+    return Lookup(Var("x"), Const(field))
+
+
+def _error_term(features: Sequence[str], response: str) -> Expr:
+    """``Σ_{f2} θ(f2) * x(f2) - x(response)`` — the residual of one tuple."""
+    weighted = SumOver(
+        "f2",
+        Const(list(features)),
+        BinOp("*", Lookup(Var("theta"), Var("f2")), Lookup(Var("x"), Var("f2"))),
+    )
+    return BinOp("-", weighted, _x(response))
+
+
+def _theta_update(gradient_of_f1: Expr, learning_rate: float) -> DictOver:
+    """``θ = λ_{f1∈F} θ(f1) - α * gradient(f1)``."""
+    return DictOver(
+        "f1",
+        Const(list(EXAMPLE_FEATURES)),
+        BinOp(
+            "-",
+            Lookup(Var("theta"), Var("f1")),
+            BinOp("*", Const(learning_rate), gradient_of_f1),
+        ),
+    )
+
+
+def _initial_theta() -> Const:
+    return Const({feature: 0.0 for feature in EXAMPLE_FEATURES})
+
+
+# -- stage constructors --------------------------------------------------------------------------------
+
+
+def naive_program(iterations: int, learning_rate: float) -> Expr:
+    """Stage 0: every iteration scans sup(Q) and recomputes the inner sums."""
+    gradient = SumOver(
+        "x",
+        Var("Q"),
+        BinOp(
+            "*",
+            BinOp("*", _lookup("Q", Var("x")), _error_term(EXAMPLE_FEATURES, EXAMPLE_RESPONSE)),
+            _x_dynamic_f1(),
+        ),
+    )
+    return IterateLoop("theta", _initial_theta(), iterations, _theta_update(gradient, learning_rate))
+
+
+def _x_dynamic_f1() -> Expr:
+    return Lookup(Var("x"), Var("f1"))
+
+
+def _covariance_dictionary() -> DictOver:
+    """``M = λ f1 λ f2 Σ_x Q(x) * x(f1) * x(f2)``."""
+    return DictOver(
+        "f1",
+        Const(list(EXAMPLE_FEATURES)),
+        DictOver(
+            "f2",
+            Const(list(EXAMPLE_FEATURES)),
+            SumOver(
+                "x",
+                Var("Q"),
+                BinOp(
+                    "*",
+                    BinOp("*", _lookup("Q", Var("x")), Lookup(Var("x"), Var("f1"))),
+                    Lookup(Var("x"), Var("f2")),
+                ),
+            ),
+        ),
+    )
+
+
+def _correlation_dictionary() -> DictOver:
+    """``C = λ f1 Σ_x Q(x) * x(f1) * x(u)``."""
+    return DictOver(
+        "f1",
+        Const(list(EXAMPLE_FEATURES)),
+        SumOver(
+            "x",
+            Var("Q"),
+            BinOp(
+                "*",
+                BinOp("*", _lookup("Q", Var("x")), Lookup(Var("x"), Var("f1"))),
+                _x(EXAMPLE_RESPONSE),
+            ),
+        ),
+    )
+
+
+def _gradient_from_statistics() -> Expr:
+    """``Σ_{f2} θ(f2) * M(f1)(f2) - C(f1)`` — the gradient built from M and C."""
+    return BinOp(
+        "-",
+        SumOver(
+            "f2",
+            Const(list(EXAMPLE_FEATURES)),
+            BinOp(
+                "*",
+                Lookup(Var("theta"), Var("f2")),
+                Lookup(Lookup(Var("M"), Var("f1")), Var("f2")),
+            ),
+        ),
+        Lookup(Var("C"), Var("f1")),
+    )
+
+
+def memoised_program(iterations: int, learning_rate: float) -> Expr:
+    """Stage 1: M and C are named but still live inside the convergence loop."""
+    step = Let(
+        "M",
+        _covariance_dictionary(),
+        Let("C", _correlation_dictionary(), _theta_update(_gradient_from_statistics(), learning_rate)),
+    )
+    return IterateLoop("theta", _initial_theta(), iterations, step)
+
+
+def hoisted_program(iterations: int, learning_rate: float) -> Expr:
+    """Stage 2: derived from stage 1 by loop-invariant code motion."""
+    return hoist_invariant_lets(memoised_program(iterations, learning_rate))
+
+
+def specialised_program(iterations: int, learning_rate: float) -> Expr:
+    """Stage 3: derived from stage 2 by static field-access specialisation.
+
+    Only the accesses with statically known field names (``x(u)``) specialise;
+    the accesses keyed by the loop variables ``f1``/``f2`` stay dynamic, as in
+    the paper they are removed by loop unrolling, which the interpreter models
+    with the same dictionary layout.
+    """
+    return specialize_field_access(
+        hoisted_program(iterations, learning_rate),
+        EXAMPLE_FIELD_ORDER,
+        record_variables=["x"],
+    )
+
+
+#: Which base relation owns each field of the example schema.
+_FIELD_OWNER: Dict[str, str] = {"i": "S", "s": "S", "u": "S", "c": "R", "p": "I"}
+#: The join key of each dimension relation (looked up from the S tuple).
+_DIMENSION_KEY: Dict[str, str] = {"R": "s", "I": "i"}
+
+
+def _partial_view(relation: str, fields: Tuple[str, ...]) -> GroupSum:
+    """``V = Σ_{x∈relation} {x.key -> relation(x) * Π fields}`` (a keyed partial aggregate)."""
+    variable = f"x{relation.lower()}"
+    key_field = _DIMENSION_KEY[relation]
+    value: Expr = Lookup(Var(relation), Var(variable))
+    for field in fields:
+        value = BinOp("*", value, Lookup(Var(variable), Const(field)))
+    return GroupSum(
+        variable,
+        Var(relation),
+        Lookup(Var(variable), Const(key_field)),
+        value,
+    )
+
+
+def _pushed_down_entry(left_field: str, right_field: str) -> Expr:
+    """One sigma entry computed by aggregate pushdown with keyed partial views.
+
+    The entry ``Σ_Q Q(x) * x(left) * x(right)`` becomes a single scan of S that
+    multiplies the locally available factors with lookups into the partial
+    views of R and I (grouped by their join keys), exactly as in the paper's
+    V_R / V_I rewriting of Section 5.3.
+    """
+    dimension_fields: Dict[str, List[str]] = {"R": [], "I": []}
+    local_fields: List[str] = []
+    for field in (left_field, right_field):
+        owner = _FIELD_OWNER[field]
+        if owner == "S":
+            local_fields.append(field)
+        else:
+            dimension_fields[owner].append(field)
+
+    lets: List[Tuple[str, Expr]] = []
+    body: Expr = _lookup("S", Var("xs"))
+    for field in local_fields:
+        body = BinOp("*", body, Lookup(Var("xs"), Const(field)))
+    for relation in ("R", "I"):
+        fields = tuple(dimension_fields[relation])
+        view_name = f"V_{relation}_{'_'.join(fields) if fields else 'count'}"
+        lets.append((view_name, _partial_view(relation, fields)))
+        key_field = _DIMENSION_KEY[relation]
+        body = BinOp(
+            "*", body, Lookup(Var(view_name), Lookup(Var("xs"), Const(key_field)))
+        )
+
+    entry: Expr = SumOver("xs", Var("S"), body)
+    for name, bound in reversed(lets):
+        entry = Let(name, bound, entry)
+    return entry
+
+
+def pushed_down_program(iterations: int, learning_rate: float) -> Expr:
+    """Stage 4: M and C computed over the base relations (aggregate pushdown).
+
+    The join dictionary Q is never referenced: every sigma entry scans S once
+    and probes keyed partial aggregates of R and I.
+    """
+    covariance = MakeDict(
+        {
+            left: MakeDict(
+                {right: _pushed_down_entry(left, right) for right in EXAMPLE_FEATURES}
+            )
+            for left in EXAMPLE_FEATURES
+        }
+    )
+    correlation = MakeDict(
+        {feature: _pushed_down_entry(feature, EXAMPLE_RESPONSE) for feature in EXAMPLE_FEATURES}
+    )
+
+    step = _theta_update(_gradient_from_statistics(), learning_rate)
+    loop = IterateLoop("theta", _initial_theta(), iterations, step)
+    return Let("M", covariance, Let("C", correlation, loop))
+
+
+# -- stage registry ----------------------------------------------------------------------------------------
+
+
+@dataclass
+class GradientProgramStages:
+    """All compilation stages of the Section 5.3 program."""
+
+    iterations: int
+    learning_rate: float
+    stages: Dict[str, Expr]
+
+    def names(self) -> List[str]:
+        return list(self.stages)
+
+
+def build_stage_programs(iterations: int = 10, learning_rate: float = 0.05) -> GradientProgramStages:
+    """Build the five stages of the gradient-descent program."""
+    return GradientProgramStages(
+        iterations=iterations,
+        learning_rate=learning_rate,
+        stages={
+            "0_naive": naive_program(iterations, learning_rate),
+            "1_memoised": memoised_program(iterations, learning_rate),
+            "2_hoisted": hoisted_program(iterations, learning_rate),
+            "3_specialised": specialised_program(iterations, learning_rate),
+            "4_pushed_down": pushed_down_program(iterations, learning_rate),
+        },
+    )

@@ -1,0 +1,131 @@
+"""Equivalence-preserving IFAQ transformations.
+
+Three of the rewrites from Figure 11 are implemented generically over the IR:
+
+* :func:`hoist_invariant_lets` — loop-invariant code motion: a ``Let`` at the
+  top of a loop body whose bound expression does not depend on the loop state
+  is moved out of the loop;
+* :func:`factor_out_invariant` — distributivity: multiplicative factors that do
+  not depend on a summation variable are pulled out of the ``SumOver``;
+* :func:`specialize_field_access` — schema specialisation: dynamic record
+  lookups with statically known keys become static field accesses with
+  resolved positions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.ifaq.expr import (
+    BinOp,
+    Const,
+    DictOver,
+    Expr,
+    FieldOf,
+    IterateLoop,
+    Let,
+    Lookup,
+    SumOver,
+    Var,
+)
+
+
+def _transform_bottom_up(expression: Expr, rule: Callable[[Expr], Expr]) -> Expr:
+    """Apply ``rule`` to every node, children first."""
+    children = expression.children()
+    if children:
+        rebuilt = expression.rebuild(
+            [_transform_bottom_up(child, rule) for child in children]
+        )
+    else:
+        rebuilt = expression
+    return rule(rebuilt)
+
+
+# -- loop-invariant code motion ------------------------------------------------------------------
+
+
+def hoist_invariant_lets(expression: Expr) -> Expr:
+    """Move loop-invariant ``Let`` bindings out of ``IterateLoop`` bodies."""
+
+    def rule(node: Expr) -> Expr:
+        if not isinstance(node, IterateLoop):
+            return node
+        loop = node
+        hoisted: List[Tuple[str, Expr]] = []
+        step = loop.step
+        while isinstance(step, Let) and loop.state_name not in step.bound.free_variables():
+            hoisted.append((step.name, step.bound))
+            step = step.body
+        if not hoisted:
+            return node
+        result: Expr = IterateLoop(loop.state_name, loop.init, loop.count, step)
+        for name, bound in reversed(hoisted):
+            result = Let(name, bound, result)
+        return result
+
+    return _transform_bottom_up(expression, rule)
+
+
+# -- distributivity / factoring ---------------------------------------------------------------------
+
+
+def _flatten_product(expression: Expr) -> List[Expr]:
+    if isinstance(expression, BinOp) and expression.op == "*":
+        return _flatten_product(expression.left) + _flatten_product(expression.right)
+    return [expression]
+
+
+def _rebuild_product(factors: Sequence[Expr]) -> Expr:
+    if not factors:
+        return Const(1.0)
+    result = factors[0]
+    for factor in factors[1:]:
+        result = BinOp("*", result, factor)
+    return result
+
+
+def factor_out_invariant(expression: Expr) -> Expr:
+    """Pull factors independent of the summation variable out of ``SumOver``."""
+
+    def rule(node: Expr) -> Expr:
+        if not isinstance(node, SumOver):
+            return node
+        factors = _flatten_product(node.body)
+        if len(factors) < 2:
+            return node
+        dependent = [factor for factor in factors if node.variable in factor.free_variables()]
+        independent = [factor for factor in factors if node.variable not in factor.free_variables()]
+        if not independent:
+            return node
+        inner: Expr = SumOver(node.variable, node.domain, _rebuild_product(dependent))
+        return BinOp("*", _rebuild_product(independent), inner)
+
+    return _transform_bottom_up(expression, rule)
+
+
+# -- schema specialisation -----------------------------------------------------------------------------
+
+
+def specialize_field_access(expression: Expr, field_order: Sequence[str],
+                            record_variables: Sequence[str]) -> Expr:
+    """Turn ``Lookup(Var(x), Const(field))`` into a positional ``FieldOf`` access.
+
+    ``field_order`` is the statically known record layout and
+    ``record_variables`` the loop variables bound to records of that layout.
+    """
+    positions: Dict[str, int] = {name: position for position, name in enumerate(field_order)}
+    record_set = set(record_variables)
+
+    def rule(node: Expr) -> Expr:
+        if (
+            isinstance(node, Lookup)
+            and isinstance(node.container, Var)
+            and node.container.name in record_set
+            and isinstance(node.key, Const)
+            and node.key.value in positions
+        ):
+            return FieldOf(node.container, str(node.key.value), positions[str(node.key.value)])
+        return node
+
+    return _transform_bottom_up(expression, rule)

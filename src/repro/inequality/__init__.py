@@ -1,0 +1,21 @@
+"""Aggregates with additive-inequality conditions (Section 2.3).
+
+Queries of the form ``SUM(expr) WHERE w_1*X_1 + ... + w_n*X_n > c`` are a new
+kind of theta join: existing engines evaluate them by scanning the data matrix
+per query.  When many such queries share the inequality *direction* (as the
+sub-gradients of SVMs, robust regression and k-means do), sorting the
+projections once and answering each threshold with a binary search over prefix
+sums is asymptotically better.  This package provides both strategies.
+"""
+
+from repro.inequality.algorithms import (
+    AdditiveInequalityEvaluator,
+    NaiveInequalityEvaluator,
+    SortedInequalityEvaluator,
+)
+
+__all__ = [
+    "AdditiveInequalityEvaluator",
+    "NaiveInequalityEvaluator",
+    "SortedInequalityEvaluator",
+]

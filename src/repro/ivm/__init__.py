@@ -1,0 +1,27 @@
+"""Incremental view maintenance (Figure 4, right).
+
+Three maintenance strategies for the covariance matrix of a feature-extraction
+join under tuple inserts and deletes:
+
+* :class:`FirstOrderIVM` — classical delta processing: every aggregate of the
+  batch maintains itself by joining the delta tuple against the base relations;
+* :class:`HigherOrderIVM` — delta processing with materialised intermediate
+  views: the delta join is computed once per update against partial joins, but
+  each aggregate still updates itself separately;
+* :class:`FIVM` — factorised IVM: one view tree whose payloads live in the
+  covariance ring, so a single propagation along a leaf-to-root path maintains
+  the entire aggregate batch.
+"""
+
+from repro.ivm.base import Update, CovarianceMaintainer
+from repro.ivm.first_order import FirstOrderIVM
+from repro.ivm.higher_order import HigherOrderIVM
+from repro.ivm.fivm import FIVM
+
+__all__ = [
+    "Update",
+    "CovarianceMaintainer",
+    "FirstOrderIVM",
+    "HigherOrderIVM",
+    "FIVM",
+]

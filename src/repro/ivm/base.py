@@ -1,0 +1,173 @@
+"""Shared infrastructure for the IVM strategies.
+
+All maintainers keep their own copies of the base relations (starting from an
+initially empty database, as in the paper's streaming experiment), accept
+signed tuple updates, and expose the maintained covariance statistics over the
+continuous features of the feature-extraction join.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.join_tree import JoinTree, JoinTreeNode, build_join_tree
+from repro.rings.covariance import CovariancePayload, CovarianceRing
+
+
+@dataclass(frozen=True)
+class Update:
+    """A signed tuple update: +1 multiplicity inserts, -1 deletes."""
+
+    relation_name: str
+    row: Tuple
+    multiplicity: int = 1
+
+
+class JoinIndex:
+    """A maintained hash index of a relation on a subset of its attributes."""
+
+    def __init__(self, relation: Relation, key_attributes: Sequence[str]) -> None:
+        self.key_attributes = tuple(key_attributes)
+        self.positions = relation.schema.indices_of(self.key_attributes)
+        self.buckets: Dict[Tuple, Dict[Tuple, int]] = {}
+        for row, multiplicity in relation.items():
+            self.add(row, multiplicity)
+
+    def key_of(self, row: Tuple) -> Tuple:
+        return tuple(row[position] for position in self.positions)
+
+    def add(self, row: Tuple, multiplicity: int) -> None:
+        bucket = self.buckets.setdefault(self.key_of(row), {})
+        updated = bucket.get(row, 0) + multiplicity
+        if updated == 0:
+            bucket.pop(row, None)
+            if not bucket:
+                self.buckets.pop(self.key_of(row), None)
+        else:
+            bucket[row] = updated
+
+    def lookup(self, key: Tuple) -> Dict[Tuple, int]:
+        return self.buckets.get(key, {})
+
+
+class CovarianceMaintainer(abc.ABC):
+    """Base class: schema bookkeeping shared by all three IVM strategies."""
+
+    def __init__(
+        self,
+        schema_database: Database,
+        query: ConjunctiveQuery,
+        features: Sequence[str],
+        root_relation: Optional[str] = None,
+    ) -> None:
+        self.query = query
+        self.features = tuple(features)
+        self.ring = CovarianceRing(len(self.features))
+        # The maintainer owns an initially-empty copy of the database: the
+        # streaming experiment of Figure 4 (right) starts from nothing.
+        self.database = schema_database.empty_copy()
+        hypergraph = query.hypergraph(schema_database)
+        root = root_relation or max(
+            query.relation_names,
+            key=lambda name: (schema_database.relation(name).arity, name),
+        )
+        self.join_tree: JoinTree = build_join_tree(hypergraph, root=root)
+        self._designation = self._designate_features()
+        self._feature_positions = {
+            feature: position for position, feature in enumerate(self.features)
+        }
+
+    # -- feature designation -----------------------------------------------------------
+
+    def _designate_features(self) -> Dict[str, str]:
+        """Assign each feature to the deepest join-tree node containing it."""
+        depths: Dict[str, int] = {}
+
+        def assign(node: JoinTreeNode, depth: int) -> None:
+            depths[node.relation_name] = depth
+            for child in node.children:
+                assign(child, depth + 1)
+
+        assign(self.join_tree.root, 0)
+
+        designation: Dict[str, str] = {}
+        for feature in self.features:
+            owners = [
+                node.relation_name
+                for node in self.join_tree.nodes()
+                if feature in node.attributes
+            ]
+            if not owners:
+                raise ValueError(f"feature {feature!r} does not occur in the query")
+            designation[feature] = max(owners, key=lambda name: (depths[name], name))
+        return designation
+
+    def features_of(self, relation_name: str) -> List[str]:
+        return [
+            feature
+            for feature in self.features
+            if self._designation[feature] == relation_name
+        ]
+
+    def lift_row(self, relation_name: str, row: Tuple) -> CovariancePayload:
+        """Lift one tuple of a relation into the covariance ring.
+
+        The payload carries the values of the features designated to that
+        relation; relations with no designated features lift to the ring's one.
+        The construction is direct (one sparse outer product) rather than a
+        chain of ring multiplications, which is what a code-specialised engine
+        would generate.
+        """
+        relation = self.database.relation(relation_name)
+        local_features = self.features_of(relation_name)
+        if not local_features:
+            return self.ring.one()
+        sums = np.zeros(len(self.features))
+        for feature in local_features:
+            position = relation.schema.index_of(feature)
+            sums[self._feature_positions[feature]] = float(row[position])
+        return CovariancePayload(1.0, sums, np.outer(sums, sums))
+
+    # -- update protocol -----------------------------------------------------------------
+
+    def apply(self, update: Update) -> None:
+        """Apply one signed tuple update."""
+        self._apply_update(update)
+        self.database.relation(update.relation_name).add(update.row, update.multiplicity)
+
+    def apply_batch(self, updates: Iterable[Update]) -> int:
+        count = 0
+        for update in updates:
+            self.apply(update)
+            count += 1
+        return count
+
+    @abc.abstractmethod
+    def _apply_update(self, update: Update) -> None:
+        """Strategy-specific maintenance, run before the base relation changes."""
+
+    @abc.abstractmethod
+    def statistics(self) -> CovariancePayload:
+        """The maintained covariance statistics over the join."""
+
+    # -- reference -------------------------------------------------------------------------
+
+    def recompute_statistics(self) -> CovariancePayload:
+        """Recompute the statistics from scratch (used by tests as ground truth)."""
+        joined = self.query.evaluate(self.database)
+        names = joined.schema.names
+        total = self.ring.zero()
+        for row, multiplicity in joined.items():
+            vector = np.array(
+                [float(row[names.index(feature)]) for feature in self.features]
+            )
+            payload = CovariancePayload(1.0, vector.copy(), np.outer(vector, vector))
+            total = self.ring.add(total, self.ring.scale(payload, multiplicity))
+        return total

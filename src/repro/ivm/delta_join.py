@@ -1,0 +1,82 @@
+"""Delta-join expansion: all join tuples that contain a given delta tuple.
+
+Used by the first-order and higher-order IVM strategies to turn one update of
+a base relation into the corresponding delta of the feature-extraction join.
+The expansion walks the join tree outwards from the updated relation, probing
+maintained hash indexes on the edge attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.ivm.base import JoinIndex
+from repro.query.join_tree import JoinTree, JoinTreeNode
+
+Assignment = Dict[str, object]
+
+
+class DeltaJoiner:
+    """Maintains per-edge indexes and expands delta tuples into join deltas."""
+
+    def __init__(self, database: Database, join_tree: JoinTree) -> None:
+        self.database = database
+        self.join_tree = join_tree
+        self._adjacency: Dict[str, List[Tuple[str, Tuple[str, ...]]]] = {}
+        self._indexes: Dict[Tuple[str, Tuple[str, ...]], JoinIndex] = {}
+
+        for node in join_tree.nodes():
+            neighbours: List[JoinTreeNode] = list(node.children)
+            if node.parent is not None:
+                neighbours.append(node.parent)
+            edges = []
+            for neighbour in neighbours:
+                shared = tuple(sorted(node.attributes & neighbour.attributes))
+                edges.append((neighbour.relation_name, shared))
+                self._ensure_index(neighbour.relation_name, shared)
+            self._adjacency[node.relation_name] = edges
+
+    def _ensure_index(self, relation_name: str, key_attributes: Tuple[str, ...]) -> JoinIndex:
+        key = (relation_name, key_attributes)
+        index = self._indexes.get(key)
+        if index is None:
+            index = JoinIndex(self.database.relation(relation_name), key_attributes)
+            self._indexes[key] = index
+        return index
+
+    def register_update(self, relation_name: str, row: Tuple, multiplicity: int) -> None:
+        """Keep the edge indexes in sync with an update to a base relation."""
+        for (indexed_relation, _key), index in self._indexes.items():
+            if indexed_relation == relation_name:
+                index.add(row, multiplicity)
+
+    def expand(
+        self, relation_name: str, row: Tuple, multiplicity: int
+    ) -> List[Tuple[Assignment, int]]:
+        """All full join tuples (as attribute dictionaries) containing ``row``."""
+        start_relation = self.database.relation(relation_name)
+        assignments: List[Tuple[Assignment, int]] = [
+            (dict(zip(start_relation.schema.names, row)), multiplicity)
+        ]
+        visited = {relation_name}
+        frontier = [relation_name]
+        while frontier and assignments:
+            current = frontier.pop()
+            for neighbour_name, shared in self._adjacency[current]:
+                if neighbour_name in visited:
+                    continue
+                visited.add(neighbour_name)
+                frontier.append(neighbour_name)
+                index = self._ensure_index(neighbour_name, shared)
+                neighbour_schema = self.database.relation(neighbour_name).schema.names
+                expanded: List[Tuple[Assignment, int]] = []
+                for assignment, mult in assignments:
+                    key = tuple(assignment[attribute] for attribute in shared)
+                    for other_row, other_mult in index.lookup(key).items():
+                        merged = dict(assignment)
+                        merged.update(zip(neighbour_schema, other_row))
+                        expanded.append((merged, mult * other_mult))
+                assignments = expanded
+        return assignments

@@ -1,0 +1,82 @@
+"""First-order (classical delta) IVM.
+
+Every aggregate of the covariance batch — SUM(1), SUM(x_i) and SUM(x_i*x_j)
+for every feature pair — is treated as an independent query.  On every update
+each of those queries recomputes its own delta by joining the delta tuple
+against the base relations; there is no sharing across the batch, which is why
+this strategy's per-update cost grows quadratically with the number of
+features.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.database import Database
+from repro.ivm.base import CovarianceMaintainer, Update
+from repro.ivm.delta_join import DeltaJoiner
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.rings.covariance import CovariancePayload
+
+
+class FirstOrderIVM(CovarianceMaintainer):
+    """Per-aggregate delta processing against the base relations."""
+
+    def __init__(
+        self,
+        schema_database: Database,
+        query: ConjunctiveQuery,
+        features: Sequence[str],
+        root_relation: Optional[str] = None,
+    ) -> None:
+        super().__init__(schema_database, query, features, root_relation)
+        self._joiner = DeltaJoiner(self.database, self.join_tree)
+        dimension = len(self.features)
+        self._count = 0.0
+        self._sums = np.zeros(dimension)
+        self._moments = np.zeros((dimension, dimension))
+
+    # -- maintenance -------------------------------------------------------------------
+
+    def _apply_update(self, update: Update) -> None:
+        # One delta-join expansion per maintained aggregate: the defining
+        # inefficiency of first-order IVM for aggregate batches.
+        dimension = len(self.features)
+
+        delta_count = 0.0
+        for assignment, multiplicity in self._expand(update):
+            delta_count += multiplicity
+        self._count += delta_count
+
+        for position, feature in enumerate(self.features):
+            delta_sum = 0.0
+            for assignment, multiplicity in self._expand(update):
+                delta_sum += multiplicity * float(assignment[feature])  # type: ignore[arg-type]
+            self._sums[position] += delta_sum
+
+        for left in range(dimension):
+            for right in range(left, dimension):
+                delta_moment = 0.0
+                left_feature = self.features[left]
+                right_feature = self.features[right]
+                for assignment, multiplicity in self._expand(update):
+                    delta_moment += (
+                        multiplicity
+                        * float(assignment[left_feature])  # type: ignore[arg-type]
+                        * float(assignment[right_feature])  # type: ignore[arg-type]
+                    )
+                self._moments[left, right] += delta_moment
+                if left != right:
+                    self._moments[right, left] += delta_moment
+
+        self._joiner.register_update(update.relation_name, update.row, update.multiplicity)
+
+    def _expand(self, update: Update) -> List[Tuple[Dict[str, object], int]]:
+        return self._joiner.expand(update.relation_name, update.row, update.multiplicity)
+
+    # -- results ------------------------------------------------------------------------
+
+    def statistics(self) -> CovariancePayload:
+        return CovariancePayload(self._count, self._sums.copy(), self._moments.copy())

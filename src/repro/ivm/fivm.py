@@ -1,0 +1,156 @@
+"""F-IVM: factorised incremental view maintenance with ring payloads.
+
+The maintainer keeps one view per join-tree node, mapping the node's join key
+(the attributes shared with its parent) to a payload in the covariance ring.
+A base-relation update touches only the views on the leaf-to-root path of the
+updated relation: the delta payload is computed from the relation's lifted
+tuple and the children's current payloads, then propagated upwards.  Because
+the payload carries the entire covariance-matrix batch, one propagation
+maintains every aggregate at once — the cross-aggregate sharing responsible
+for the throughput gap in Figure 4 (right).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.data.database import Database
+from repro.ivm.base import CovarianceMaintainer, JoinIndex, Update
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.join_tree import JoinTreeNode
+from repro.rings.covariance import CovariancePayload
+
+
+class FIVM(CovarianceMaintainer):
+    """Factorised IVM over a view tree with covariance-ring payloads."""
+
+    def __init__(
+        self,
+        schema_database: Database,
+        query: ConjunctiveQuery,
+        features: Sequence[str],
+        root_relation: Optional[str] = None,
+    ) -> None:
+        super().__init__(schema_database, query, features, root_relation)
+        # One payload view per node: join key -> covariance payload of the subtree.
+        self._views: Dict[str, Dict[Tuple, CovariancePayload]] = {
+            node.relation_name: {} for node in self.join_tree.nodes()
+        }
+        # For every non-root node, an index of its parent's relation on the
+        # node's connection attributes, used for upward delta propagation.
+        self._parent_indexes: Dict[str, JoinIndex] = {}
+        for node in self.join_tree.nodes():
+            if node.parent is not None:
+                conn = sorted(node.connection_attributes())
+                self._parent_indexes[node.relation_name] = JoinIndex(
+                    self.database.relation(node.parent.relation_name), conn
+                )
+        # Pre-resolved key positions per node.
+        self._conn_positions: Dict[str, List[int]] = {}
+        for node in self.join_tree.nodes():
+            relation = self.database.relation(node.relation_name)
+            conn = sorted(node.connection_attributes())
+            self._conn_positions[node.relation_name] = [
+                relation.schema.index_of(attribute) for attribute in conn
+            ]
+        # Positions of each child's connection attributes inside the parent's schema.
+        self._child_key_positions: Dict[Tuple[str, str], List[int]] = {}
+        for node in self.join_tree.nodes():
+            relation = self.database.relation(node.relation_name)
+            for child in node.children:
+                conn = sorted(child.connection_attributes())
+                self._child_key_positions[(node.relation_name, child.relation_name)] = [
+                    relation.schema.index_of(attribute) for attribute in conn
+                ]
+
+    # -- helpers ------------------------------------------------------------------------------
+
+    def _conn_key(self, relation_name: str, row: Tuple) -> Tuple:
+        return tuple(row[position] for position in self._conn_positions[relation_name])
+
+    def _child_key(self, parent_name: str, child_name: str, row: Tuple) -> Tuple:
+        positions = self._child_key_positions[(parent_name, child_name)]
+        return tuple(row[position] for position in positions)
+
+    def _children_payload(
+        self, node: JoinTreeNode, row: Tuple, skip_child: Optional[str] = None
+    ) -> Optional[CovariancePayload]:
+        """Product of the children's view payloads matching ``row`` (None if any is missing)."""
+        payload = self.ring.one()
+        for child in node.children:
+            if skip_child is not None and child.relation_name == skip_child:
+                continue
+            key = self._child_key(node.relation_name, child.relation_name, row)
+            child_payload = self._views[child.relation_name].get(key)
+            if child_payload is None:
+                return None
+            payload = self.ring.multiply(payload, child_payload)
+        return payload
+
+    def _add_to_view(self, relation_name: str, key: Tuple, payload: CovariancePayload) -> None:
+        view = self._views[relation_name]
+        existing = view.get(key)
+        view[key] = payload if existing is None else self.ring.add(existing, payload)
+
+    # -- maintenance ----------------------------------------------------------------------------
+
+    def _apply_update(self, update: Update) -> None:
+        node = self.join_tree.node(update.relation_name)
+        lifted = self.ring.scale(self.lift_row(update.relation_name, update.row), update.multiplicity)
+
+        delta: Dict[Tuple, CovariancePayload] = {}
+        children_payload = self._children_payload(node, update.row)
+        if children_payload is not None:
+            delta[self._conn_key(node.relation_name, update.row)] = self.ring.multiply(
+                lifted, children_payload
+            )
+
+        current_node = node
+        current_delta = delta
+        while current_delta:
+            for key, payload in current_delta.items():
+                self._add_to_view(current_node.relation_name, key, payload)
+            parent = current_node.parent
+            if parent is None:
+                break
+            parent_relation = self.database.relation(parent.relation_name)
+            index = self._parent_indexes[current_node.relation_name]
+            next_delta: Dict[Tuple, CovariancePayload] = {}
+            for key, payload in current_delta.items():
+                for parent_row, parent_multiplicity in index.lookup(key).items():
+                    other_children = self._children_payload(
+                        parent, parent_row, skip_child=current_node.relation_name
+                    )
+                    if other_children is None:
+                        continue
+                    contribution = self.ring.multiply(
+                        self.ring.scale(
+                            self.lift_row(parent.relation_name, parent_row), parent_multiplicity
+                        ),
+                        self.ring.multiply(payload, other_children),
+                    )
+                    parent_key = self._conn_key(parent.relation_name, parent_row)
+                    existing = next_delta.get(parent_key)
+                    next_delta[parent_key] = (
+                        contribution
+                        if existing is None
+                        else self.ring.add(existing, contribution)
+                    )
+            current_node = parent
+            current_delta = next_delta
+
+        # Keep the propagation indexes in sync with the base-relation change.
+        for child_name, index in self._parent_indexes.items():
+            parent_name = self.join_tree.node(child_name).parent.relation_name  # type: ignore[union-attr]
+            if parent_name == update.relation_name:
+                index.add(update.row, update.multiplicity)
+
+    # -- results -----------------------------------------------------------------------------------
+
+    def statistics(self) -> CovariancePayload:
+        root_view = self._views[self.join_tree.root.relation_name]
+        return root_view.get((), self.ring.zero()).copy()
+
+    def view_sizes(self) -> Dict[str, int]:
+        """Number of keys per maintained payload view (they stay small)."""
+        return {name: len(view) for name, view in self._views.items()}

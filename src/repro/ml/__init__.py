@@ -1,0 +1,38 @@
+"""Machine learning over relational data, trained from aggregate batches.
+
+Every model in this package consumes sufficient statistics computed by the
+LMFAO-style engine (or the factorised join) instead of a materialised data
+matrix: ridge linear regression and PCA use the covariance matrix, decision
+trees use filtered variance/count batches, k-means uses per-dimension
+statistics and grid coresets, SVMs use additive-inequality aggregates, and
+Chow–Liu trees use mutual-information batches.
+"""
+
+from repro.ml.statistics import compute_sigma, sigma_from_data_matrix
+from repro.ml.linear_regression import RidgeRegression, train_ridge_regression
+from repro.ml.decision_tree import DecisionTreeRegressor, DecisionTreeClassifier
+from repro.ml.pca import PrincipalComponentAnalysis
+from repro.ml.kmeans import KMeans, RelationalKMeans
+from repro.ml.factorization_machine import FactorizationMachine
+from repro.ml.svm import LinearSVM
+from repro.ml.chow_liu import ChowLiuTree, mutual_information_matrix
+from repro.ml.model_selection import ModelSelector
+from repro.ml.fd_reparam import FDReparameterization
+
+__all__ = [
+    "compute_sigma",
+    "sigma_from_data_matrix",
+    "RidgeRegression",
+    "train_ridge_regression",
+    "DecisionTreeRegressor",
+    "DecisionTreeClassifier",
+    "PrincipalComponentAnalysis",
+    "KMeans",
+    "RelationalKMeans",
+    "FactorizationMachine",
+    "LinearSVM",
+    "ChowLiuTree",
+    "mutual_information_matrix",
+    "ModelSelector",
+    "FDReparameterization",
+]

@@ -1,0 +1,106 @@
+"""Model selection by reusing one covariance matrix (Section 1.5).
+
+Once the engine has computed the sigma matrix over *all* candidate features,
+any ridge model over a subset of them can be trained in milliseconds by
+slicing the matrix — no further passes over the data.  This is the paper's
+argument that faster training buys better accuracy: many candidate models can
+be explored in the time a structure-agnostic pipeline trains one.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.aggregates.sparse_tensor import FeatureIndex, SigmaMatrix
+from repro.ml.linear_regression import RidgeRegression
+
+
+@dataclass
+class CandidateModel:
+    """One trained candidate: its feature subset and in-sample diagnostics."""
+
+    features: Tuple[str, ...]
+    model: RidgeRegression
+    training_mse: float
+
+    def __lt__(self, other: "CandidateModel") -> bool:  # pragma: no cover - ordering helper
+        return self.training_mse < other.training_mse
+
+
+def _restrict_sigma(sigma: SigmaMatrix, keep_features: Sequence[str], target: str) -> SigmaMatrix:
+    """Slice the sigma matrix down to the intercept, target and kept features."""
+    keep = set(keep_features) | {target}
+    positions: List[int] = [sigma.index.intercept_position()]
+    continuous: List[str] = []
+    categorical_values: Dict[str, List[object]] = {}
+    for feature, value, position in sigma.index.entries():
+        if feature == "__intercept__" or feature not in keep:
+            continue
+        positions.append(position)
+        if value is None:
+            continuous.append(feature)
+        else:
+            categorical_values.setdefault(feature, []).append(value)
+    index = FeatureIndex(continuous, categorical_values, include_intercept=True)
+    matrix = sigma.matrix[np.ix_(positions, positions)]
+    return SigmaMatrix(index, matrix)
+
+
+def training_mse(sigma: SigmaMatrix, model: RidgeRegression, target: str) -> float:
+    """In-sample mean squared error computed from the sigma matrix alone.
+
+    MSE = (SUM(y^2) - 2 θᵀc + θᵀ Σ θ) / N, so no pass over the data is needed.
+    """
+    assert model.parameters is not None and model.parameter_positions is not None
+    count = max(sigma.count(), 1.0)
+    target_position = sigma.index.position(target)
+    sum_squares = sigma.matrix[target_position, target_position]
+    correlation = sigma.matrix[model.parameter_positions, target_position]
+    gram = sigma.matrix[np.ix_(model.parameter_positions, model.parameter_positions)]
+    theta = model.parameters
+    value = (sum_squares - 2.0 * float(theta @ correlation) + float(theta @ gram @ theta)) / count
+    return max(value, 0.0)
+
+
+class ModelSelector:
+    """Train and rank ridge models over feature subsets of one sigma matrix."""
+
+    def __init__(self, sigma: SigmaMatrix, target: str, regularization: float = 1e-3) -> None:
+        self.sigma = sigma
+        self.target = target
+        self.regularization = regularization
+        self.candidates: List[CandidateModel] = []
+
+    def evaluate_subset(self, features: Sequence[str]) -> CandidateModel:
+        restricted = _restrict_sigma(self.sigma, features, self.target)
+        model = RidgeRegression(self.target, self.regularization).fit_closed_form(restricted)
+        candidate = CandidateModel(
+            features=tuple(features),
+            model=model,
+            training_mse=training_mse(restricted, model, self.target),
+        )
+        self.candidates.append(candidate)
+        return candidate
+
+    def search(
+        self,
+        features: Sequence[str],
+        max_subset_size: Optional[int] = None,
+        min_subset_size: int = 1,
+    ) -> List[CandidateModel]:
+        """Exhaustively evaluate all feature subsets within the size bounds."""
+        max_size = max_subset_size if max_subset_size is not None else len(features)
+        for size in range(min_subset_size, max_size + 1):
+            for subset in itertools.combinations(features, size):
+                self.evaluate_subset(subset)
+        self.candidates.sort(key=lambda candidate: candidate.training_mse)
+        return self.candidates
+
+    def best(self) -> CandidateModel:
+        if not self.candidates:
+            raise RuntimeError("no candidate models have been evaluated")
+        return min(self.candidates, key=lambda candidate: candidate.training_mse)

@@ -1,0 +1,69 @@
+"""Principal component analysis from the sigma matrix.
+
+PCA needs only the (centred) covariance of the features, which is obtained
+from the same sigma matrix the regression models use — no data matrix is ever
+materialised (Section 2.1 lists PCA among the models covered by the
+sum-product aggregates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.aggregates.sparse_tensor import SigmaMatrix
+
+
+@dataclass
+class PCAResult:
+    """Eigen-decomposition of the centred covariance matrix."""
+
+    features: Tuple[str, ...]
+    explained_variance: np.ndarray
+    components: np.ndarray       # rows are principal directions
+    mean: np.ndarray
+
+    def explained_variance_ratio(self) -> np.ndarray:
+        total = float(self.explained_variance.sum())
+        if total <= 0:
+            return np.zeros_like(self.explained_variance)
+        return self.explained_variance / total
+
+
+class PrincipalComponentAnalysis:
+    """PCA over the continuous features of a feature-extraction query."""
+
+    def __init__(self, features: Sequence[str], components: Optional[int] = None) -> None:
+        self.features = tuple(features)
+        self.component_count = components if components is not None else len(self.features)
+        self.result: Optional[PCAResult] = None
+
+    def fit(self, sigma: SigmaMatrix) -> PCAResult:
+        """Fit from a sigma matrix containing all requested features."""
+        positions = [sigma.index.position(feature) for feature in self.features]
+        count = max(sigma.count(), 1.0)
+        moments = sigma.matrix[np.ix_(positions, positions)] / count
+        means = sigma.matrix[positions, sigma.index.intercept_position()] / count
+        covariance = moments - np.outer(means, means)
+
+        eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+        order = np.argsort(eigenvalues)[::-1][: self.component_count]
+        self.result = PCAResult(
+            features=self.features,
+            explained_variance=eigenvalues[order],
+            components=eigenvectors[:, order].T,
+            mean=means,
+        )
+        return self.result
+
+    def transform(self, rows: Sequence[Mapping[str, object]]) -> np.ndarray:
+        """Project dictionary rows onto the principal components."""
+        if self.result is None:
+            raise RuntimeError("PCA is not fitted")
+        matrix = np.array(
+            [[float(row[feature]) for feature in self.features] for row in rows]  # type: ignore[arg-type]
+        )
+        centred = matrix - self.result.mean
+        return centred @ self.result.components.T

@@ -1,0 +1,87 @@
+"""Computing sufficient statistics through the engine.
+
+``compute_sigma`` is the structure-aware path of Figure 2: synthesise the
+covariance batch, evaluate it with the LMFAO-style engine directly over the
+input database, and assemble the sparse results into a :class:`SigmaMatrix`.
+``sigma_from_data_matrix`` is the structure-agnostic reference used in tests:
+it computes the same matrix from an explicit (one-hot encoded) data matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.aggregates.batch import covariance_batch
+from repro.aggregates.sparse_tensor import FeatureIndex, SigmaMatrix, sigma_from_batch_results
+from repro.data.database import Database
+from repro.engine.lmfao import EngineOptions, LMFAOEngine
+from repro.query.conjunctive import ConjunctiveQuery
+
+
+def compute_sigma(
+    database: Database,
+    query: ConjunctiveQuery,
+    continuous: Sequence[str],
+    categorical: Sequence[str] = (),
+    options: Optional[EngineOptions] = None,
+) -> SigmaMatrix:
+    """Compute the sigma matrix of the feature-extraction query via the engine."""
+    engine = LMFAOEngine(database, query, options)
+    batch = covariance_batch(continuous, categorical)
+    result = engine.evaluate(batch)
+    return sigma_from_batch_results(result.as_mapping(), continuous, categorical)
+
+
+def one_hot_rows(
+    rows: Sequence[Mapping[str, object]],
+    continuous: Sequence[str],
+    categorical: Sequence[str],
+    index: Optional[FeatureIndex] = None,
+) -> Tuple[np.ndarray, FeatureIndex]:
+    """One-hot encode dictionary rows into a dense matrix (intercept included).
+
+    This is the structure-agnostic encoding the paper argues against; it is
+    used by the baselines and by tests that cross-check the aggregate path.
+    """
+    if index is None:
+        domains: Dict[str, List[object]] = {feature: [] for feature in categorical}
+        for row in rows:
+            for feature in categorical:
+                value = row[feature]
+                if value not in domains[feature]:
+                    domains[feature].append(value)
+        for feature in categorical:
+            domains[feature] = sorted(
+                domains[feature], key=lambda value: (type(value).__name__, str(value))
+            )
+        index = FeatureIndex(continuous, domains, include_intercept=True)
+
+    matrix = np.zeros((len(rows), index.size))
+    intercept = index.intercept_position()
+    for row_position, row in enumerate(rows):
+        matrix[row_position, intercept] = 1.0
+        for feature in continuous:
+            matrix[row_position, index.position(feature)] = float(row[feature])  # type: ignore[arg-type]
+        for feature in categorical:
+            value = row[feature]
+            if index.has(feature, value):
+                matrix[row_position, index.position(feature, value)] = 1.0
+    return matrix, index
+
+
+def sigma_from_data_matrix(
+    rows: Sequence[Mapping[str, object]],
+    continuous: Sequence[str],
+    categorical: Sequence[str] = (),
+    multiplicities: Optional[Sequence[int]] = None,
+) -> SigmaMatrix:
+    """Reference sigma matrix computed from an explicit data matrix."""
+    matrix, index = one_hot_rows(rows, continuous, categorical)
+    if multiplicities is None:
+        weights = np.ones(len(rows))
+    else:
+        weights = np.asarray(multiplicities, dtype=float)
+    weighted = matrix * weights[:, None]
+    return SigmaMatrix(index, matrix.T @ weighted)

@@ -1,0 +1,11 @@
+"""End-to-end learning pipelines (the two flows of Figure 2)."""
+
+from repro.pipelines.structure_agnostic import StructureAgnosticPipeline, StructureAgnosticReport
+from repro.pipelines.structure_aware import StructureAwarePipeline, StructureAwareReport
+
+__all__ = [
+    "StructureAgnosticPipeline",
+    "StructureAgnosticReport",
+    "StructureAwarePipeline",
+    "StructureAwareReport",
+]

@@ -1,0 +1,160 @@
+"""Hypertree decompositions for cyclic queries.
+
+Cyclic feature-extraction queries are handled by partially evaluating them to
+an acyclic query: materialise the bags of a hypertree decomposition and join
+the bags (footnote 4 of the paper).  This module provides a simple exact
+decomposition search for small queries plus the bag-materialisation step.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.data.attribute import Schema
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.data import algebra
+from repro.query.hypergraph import Hypergraph, is_acyclic
+from repro.query.widths import fractional_edge_cover_number
+
+
+@dataclass
+class HypertreeDecomposition:
+    """A tree decomposition annotated with edge covers per bag."""
+
+    bags: List[FrozenSet[str]]
+    tree_edges: List[Tuple[int, int]]
+    covers: List[FrozenSet[str]] = field(default_factory=list)
+
+    @property
+    def width(self) -> int:
+        """Hypertree width: maximum number of covering edges per bag."""
+        if not self.covers:
+            return 0
+        return max(len(cover) for cover in self.covers)
+
+    def fractional_width(self, hypergraph: Hypergraph) -> float:
+        """Maximum fractional edge cover number over the bags."""
+        return max(
+            (fractional_edge_cover_number(hypergraph, bag) for bag in self.bags),
+            default=0.0,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HypertreeDecomposition({len(self.bags)} bags, width={self.width})"
+        )
+
+
+def _minimal_covers(
+    hypergraph: Hypergraph, bag: FrozenSet[str]
+) -> Optional[FrozenSet[str]]:
+    """Smallest set of hyperedges whose union contains ``bag`` (or None)."""
+    edge_names = list(hypergraph.edges)
+    for size in range(1, len(edge_names) + 1):
+        for subset in itertools.combinations(edge_names, size):
+            covered: Set[str] = set()
+            for name in subset:
+                covered |= hypergraph.edges[name]
+            if bag <= covered:
+                return frozenset(subset)
+    return None
+
+
+def enumerate_tree_decompositions(
+    hypergraph: Hypergraph, max_orders: int = 720
+) -> Iterable[HypertreeDecomposition]:
+    """Enumerate elimination-order tree decompositions (small queries only)."""
+    vertices = sorted(hypergraph.vertices)
+    count = 0
+    for permutation in itertools.permutations(vertices):
+        if count >= max_orders:
+            return
+        count += 1
+        neighbours: Dict[str, Set[str]] = {vertex: set() for vertex in vertices}
+        for edge_vertices in hypergraph.edges.values():
+            for left in edge_vertices:
+                for right in edge_vertices:
+                    if left != right:
+                        neighbours[left].add(right)
+        bags: List[FrozenSet[str]] = []
+        bag_of_vertex: Dict[str, int] = {}
+        for vertex in permutation:
+            bag = frozenset({vertex} | neighbours[vertex])
+            bag_of_vertex[vertex] = len(bags)
+            bags.append(bag)
+            for left in neighbours[vertex]:
+                neighbours[left] |= neighbours[vertex] - {left, vertex}
+                neighbours[left].discard(vertex)
+            del neighbours[vertex]
+        # Connect each bag to the bag of the earliest-eliminated later neighbour.
+        tree_edges: List[Tuple[int, int]] = []
+        order_index = {vertex: index for index, vertex in enumerate(permutation)}
+        for index, vertex in enumerate(permutation):
+            later = [
+                other
+                for other in bags[index]
+                if other != vertex and order_index.get(other, -1) > order_index[vertex]
+            ]
+            if later:
+                anchor = min(later, key=lambda other: order_index[other])
+                tree_edges.append((index, bag_of_vertex[anchor]))
+        covers = []
+        valid = True
+        for bag in bags:
+            cover = _minimal_covers(hypergraph, bag)
+            if cover is None:
+                valid = False
+                break
+            covers.append(cover)
+        if valid:
+            yield HypertreeDecomposition(bags, tree_edges, covers)
+
+
+def best_decomposition(hypergraph: Hypergraph, max_orders: int = 720) -> HypertreeDecomposition:
+    """The decomposition with the smallest (integral) hypertree width found."""
+    best: Optional[HypertreeDecomposition] = None
+    for decomposition in enumerate_tree_decompositions(hypergraph, max_orders):
+        if best is None or decomposition.width < best.width:
+            best = decomposition
+    if best is None:
+        raise ValueError("no tree decomposition found")
+    return best
+
+
+def materialize_bags(
+    database: Database,
+    hypergraph: Hypergraph,
+    decomposition: HypertreeDecomposition,
+    prefix: str = "bag",
+) -> Tuple[Database, Hypergraph]:
+    """Partially evaluate a cyclic query to an acyclic one.
+
+    Each bag becomes a new relation: the join of its covering relations
+    projected onto the bag's attributes.  Returns the new database (bag
+    relations only) and the acyclic hypergraph over the bags.
+    """
+    bag_relations: List[Relation] = []
+    edges: Dict[str, FrozenSet[str]] = {}
+    for index, (bag, cover) in enumerate(zip(decomposition.bags, decomposition.covers)):
+        # Join the covering relations and every relation fully contained in the
+        # bag: containment means the original query enforces that relation's
+        # constraint inside this bag, so including it preserves equivalence.
+        contained = {
+            name
+            for name, vertices in hypergraph.edges.items()
+            if vertices <= bag
+        }
+        cover_relations = [
+            database.relation(name) for name in sorted(set(cover) | contained)
+        ]
+        joined = algebra.natural_join_all(cover_relations)
+        keep = [name for name in joined.schema.names if name in bag]
+        bag_relation = algebra.project(joined, keep, name=f"{prefix}{index}")
+        bag_relations.append(bag_relation)
+        edges[bag_relation.name] = frozenset(keep)
+    bag_database = Database(bag_relations, name=f"{database.name}_bags")
+    bag_hypergraph = Hypergraph(edges)
+    return bag_database, bag_hypergraph

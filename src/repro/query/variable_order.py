@@ -1,0 +1,231 @@
+"""Variable orders for factorised query evaluation (Section 5.1).
+
+A variable order is a rooted forest over the query's attributes.  Each
+variable is adorned with its *key*: the subset of its ancestors on which the
+variables in its subtree depend.  Branching encodes conditional independence
+(days ⟂ items | dish in the paper's example), and the key set encodes caching
+opportunities (price depends on item only, so its factorisation fragment can be
+cached across dishes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.data.database import Database
+from repro.query.conjunctive import ConjunctiveQuery
+from repro.query.hypergraph import Hypergraph
+from repro.query.join_tree import JoinTree, build_join_tree
+
+
+class VariableOrderError(ValueError):
+    """Raised when a variable order is malformed for a query."""
+
+
+@dataclass
+class VariableOrder:
+    """A node of a variable order (the node's variable plus its subtree)."""
+
+    variable: str
+    key: FrozenSet[str] = frozenset()
+    children: List["VariableOrder"] = field(default_factory=list)
+    relations: FrozenSet[str] = frozenset()
+    parent: Optional["VariableOrder"] = None
+
+    def add_child(self, child: "VariableOrder") -> None:
+        child.parent = self
+        self.children.append(child)
+
+    # -- traversal ------------------------------------------------------------------
+
+    def nodes(self) -> List["VariableOrder"]:
+        result = [self]
+        for child in self.children:
+            result.extend(child.nodes())
+        return result
+
+    def variables(self) -> List[str]:
+        return [node.variable for node in self.nodes()]
+
+    def ancestors(self) -> List[str]:
+        chain = []
+        node = self.parent
+        while node is not None:
+            chain.append(node.variable)
+            node = node.parent
+        return chain
+
+    def find(self, variable: str) -> "VariableOrder":
+        for node in self.nodes():
+            if node.variable == variable:
+                return node
+        raise VariableOrderError(f"variable {variable!r} not in this order")
+
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    # -- validity --------------------------------------------------------------------
+
+    def validate(self, hypergraph: Hypergraph) -> None:
+        """Check the defining property of variable orders.
+
+        For every relation (hyperedge), its attributes must lie along a single
+        root-to-leaf path of the order.  Additionally every key must be a
+        subset of the node's ancestors.
+        """
+        position: Dict[str, List[str]] = {}
+        for node in self.nodes():
+            position[node.variable] = node.ancestors() + [node.variable]
+            if not node.key <= frozenset(node.ancestors()):
+                raise VariableOrderError(
+                    f"key of {node.variable!r} ({sorted(node.key)}) is not a subset of its "
+                    f"ancestors ({node.ancestors()})"
+                )
+        ordered_variables = set(position)
+        for edge_name, edge_vertices in hypergraph.edges.items():
+            missing = edge_vertices - ordered_variables
+            if missing:
+                raise VariableOrderError(
+                    f"variables {sorted(missing)} of relation {edge_name!r} missing from order"
+                )
+            # All attributes of the relation must be on one root-to-leaf path:
+            # equivalently, for the deepest of them, all others are its ancestors.
+            deepest = max(edge_vertices, key=lambda variable: len(position[variable]))
+            path = set(position[deepest])
+            off_path = edge_vertices - path
+            if off_path:
+                raise VariableOrderError(
+                    f"attributes {sorted(off_path)} of relation {edge_name!r} are not on the "
+                    f"path of {deepest!r}; not a valid variable order"
+                )
+
+    def render(self) -> str:
+        lines: List[str] = []
+
+        def visit(node: "VariableOrder", depth: int) -> None:
+            prefix = "  " * depth + ("- " if depth else "")
+            key = "{" + ",".join(sorted(node.key)) + "}"
+            lines.append(f"{prefix}{node.variable} key={key}")
+            for child in node.children:
+                visit(child, depth + 1)
+
+        visit(self, 0)
+        return "\n".join(lines)
+
+
+def _order_from_join_tree(
+    join_tree: JoinTree, hypergraph: Hypergraph
+) -> VariableOrder:
+    """Derive a variable order by walking a join tree top-down.
+
+    At each join-tree node we append the node's not-yet-placed attributes as a
+    chain (join attributes with the parent first), then recurse into children,
+    whose chains branch off the last variable of the current chain.
+    """
+    placed: List[str] = []
+    root_holder: List[VariableOrder] = []
+
+    def place_chain(
+        attributes: Sequence[str], attach_to: Optional[VariableOrder]
+    ) -> Optional[VariableOrder]:
+        current = attach_to
+        for attribute in attributes:
+            node = VariableOrder(variable=attribute)
+            if current is None:
+                root_holder.append(node)
+            else:
+                current.add_child(node)
+            placed.append(attribute)
+            current = node
+        return current
+
+    def visit(tree_node, attach_to: Optional[VariableOrder]) -> None:
+        new_attributes = [
+            attribute
+            for attribute in sorted(tree_node.attributes)
+            if attribute not in placed
+        ]
+        # Put attributes shared with children first so children can attach below them.
+        child_shared = set()
+        for child in tree_node.children:
+            child_shared |= set(child.attributes) & set(tree_node.attributes)
+        new_attributes.sort(key=lambda attribute: (attribute not in child_shared, attribute))
+        last = place_chain(new_attributes, attach_to)
+        if last is None:
+            last = attach_to
+        for child in tree_node.children:
+            visit(child, last)
+
+    visit(join_tree.root, None)
+    if not root_holder:
+        raise VariableOrderError("query has no attributes")
+    root = root_holder[0]
+    # Chain any additional roots (disconnected queries) under the first root.
+    for extra in root_holder[1:]:
+        root.add_child(extra)
+
+    _assign_keys(root, hypergraph)
+    return root
+
+
+def _assign_keys(root: VariableOrder, hypergraph: Hypergraph) -> None:
+    """Compute the key (dependency set) of every node.
+
+    The key of a variable X is the set of its ancestors that co-occur with a
+    variable of X's subtree in some relation — the standard definition from the
+    factorised-databases work.
+    """
+    for node in root.nodes():
+        ancestors = set(node.ancestors())
+        subtree = set(VariableOrder.variables(node))
+        key: Set[str] = set()
+        for edge_vertices in hypergraph.edges.values():
+            if edge_vertices & subtree:
+                key |= edge_vertices & ancestors
+        node.key = frozenset(key)
+        node.relations = frozenset(
+            name
+            for name, edge_vertices in hypergraph.edges.items()
+            if node.variable in edge_vertices
+        )
+
+
+def build_variable_order(
+    query: ConjunctiveQuery,
+    database: Database,
+    root_relation: Optional[str] = None,
+) -> VariableOrder:
+    """Build a valid variable order for an acyclic query.
+
+    The order is derived from a join tree of the query; ``root_relation``
+    selects which relation anchors the top of the order.
+    """
+    hypergraph = query.hypergraph(database)
+    join_tree = build_join_tree(hypergraph, root=root_relation)
+    order = _order_from_join_tree(join_tree, hypergraph)
+    order.validate(hypergraph)
+    return order
+
+
+def order_from_nested(spec: Mapping, hypergraph: Hypergraph) -> VariableOrder:
+    """Build a variable order from a nested mapping ``{variable: {child: {...}}}``.
+
+    Exactly one root is expected.  Keys are derived from the hypergraph.
+    """
+    if len(spec) != 1:
+        raise VariableOrderError("nested specification must have exactly one root")
+
+    def build(variable: str, children: Mapping) -> VariableOrder:
+        node = VariableOrder(variable=variable)
+        for child_variable, grandchildren in children.items():
+            node.add_child(build(child_variable, grandchildren))
+        return node
+
+    root_variable = next(iter(spec))
+    root = build(root_variable, spec[root_variable])
+    _assign_keys(root, hypergraph)
+    root.validate(hypergraph)
+    return root

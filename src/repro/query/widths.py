@@ -1,0 +1,255 @@
+"""Width measures of queries (Section 3.2).
+
+Implemented measures:
+
+* fractional edge cover number ``rho*`` (AGM bound exponent), via an LP;
+* integral edge cover number (its integer relaxation), via brute force;
+* fractional hypertree width ``fhtw``: the minimum over tree decompositions of
+  the maximum ``rho*`` of a bag;
+* factorisation width ``s(Q)``: the minimum over variable orders of the
+  maximum ``rho*`` of a node's key-plus-variable set (the non-Boolean
+  generalisation of ``fhtw`` that bounds factorised result sizes).
+
+All measures are exact but exponential in the (small) query size, which is fine
+for feature-extraction queries over a dozen relations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.query.hypergraph import Hypergraph
+from repro.query.variable_order import VariableOrder
+
+
+def fractional_edge_cover_number(
+    hypergraph: Hypergraph, vertices: Optional[Iterable[str]] = None
+) -> float:
+    """Minimum total weight of a fractional edge cover of ``vertices``.
+
+    Solves ``min sum_e x_e`` subject to ``sum_{e ∋ v} x_e >= 1`` for every
+    vertex ``v`` and ``x_e >= 0``.  With ``vertices=None`` all vertices of the
+    hypergraph are covered.  Returns ``0.0`` for an empty vertex set and
+    ``inf`` when some vertex is not covered by any edge.
+    """
+    cover_vertices = list(vertices) if vertices is not None else sorted(hypergraph.vertices)
+    if not cover_vertices:
+        return 0.0
+    edge_names = list(hypergraph.edges)
+    if not edge_names:
+        return float("inf")
+
+    for vertex in cover_vertices:
+        if not any(vertex in hypergraph.edges[name] for name in edge_names):
+            return float("inf")
+
+    # linprog minimises c @ x subject to A_ub @ x <= b_ub.
+    # Coverage constraints sum_{e ∋ v} x_e >= 1 become -sum <= -1.
+    coefficients = np.ones(len(edge_names))
+    constraint_matrix = np.zeros((len(cover_vertices), len(edge_names)))
+    for row, vertex in enumerate(cover_vertices):
+        for column, name in enumerate(edge_names):
+            if vertex in hypergraph.edges[name]:
+                constraint_matrix[row, column] = -1.0
+    bounds = [(0, None)] * len(edge_names)
+    result = linprog(
+        coefficients,
+        A_ub=constraint_matrix,
+        b_ub=-np.ones(len(cover_vertices)),
+        bounds=bounds,
+        method="highs",
+    )
+    if not result.success:  # pragma: no cover - defensive
+        raise RuntimeError(f"fractional edge cover LP failed: {result.message}")
+    return float(result.fun)
+
+
+def integral_edge_cover_number(
+    hypergraph: Hypergraph, vertices: Optional[Iterable[str]] = None
+) -> int:
+    """Minimum number of edges covering ``vertices`` (brute force)."""
+    cover_vertices = set(vertices) if vertices is not None else set(hypergraph.vertices)
+    if not cover_vertices:
+        return 0
+    edge_names = list(hypergraph.edges)
+    for size in range(1, len(edge_names) + 1):
+        for subset in itertools.combinations(edge_names, size):
+            covered: Set[str] = set()
+            for name in subset:
+                covered |= hypergraph.edges[name]
+            if cover_vertices <= covered:
+                return size
+    raise ValueError("vertices cannot be covered by the hypergraph edges")
+
+
+def agm_bound(hypergraph: Hypergraph, relation_sizes: Dict[str, int]) -> float:
+    """The AGM bound on the join result size.
+
+    ``prod_e N_e ** x_e`` for the optimal fractional edge cover ``x`` where the
+    objective weights are ``log N_e``.  This is the worst-case output size any
+    join algorithm must be prepared for (Section 3.2).
+    """
+    edge_names = list(hypergraph.edges)
+    vertices = sorted(hypergraph.vertices)
+    if not vertices:
+        return 1.0
+    log_sizes = np.array(
+        [np.log(max(relation_sizes.get(name, 1), 1)) for name in edge_names]
+    )
+    constraint_matrix = np.zeros((len(vertices), len(edge_names)))
+    for row, vertex in enumerate(vertices):
+        for column, name in enumerate(edge_names):
+            if vertex in hypergraph.edges[name]:
+                constraint_matrix[row, column] = -1.0
+    result = linprog(
+        log_sizes,
+        A_ub=constraint_matrix,
+        b_ub=-np.ones(len(vertices)),
+        bounds=[(0, None)] * len(edge_names),
+        method="highs",
+    )
+    if not result.success:  # pragma: no cover - defensive
+        raise RuntimeError(f"AGM bound LP failed: {result.message}")
+    return float(np.exp(result.fun))
+
+
+# -- tree decompositions and fhtw -----------------------------------------------------
+
+
+def _is_valid_tree_decomposition(
+    hypergraph: Hypergraph, bags: Sequence[FrozenSet[str]], edges: Sequence[Tuple[int, int]]
+) -> bool:
+    """Check bag coverage and the running-intersection property."""
+    vertices = hypergraph.vertices
+    union_of_bags: Set[str] = set()
+    for bag in bags:
+        union_of_bags |= bag
+    if not vertices <= union_of_bags:
+        return False
+    # Every hyperedge must be contained in some bag.
+    for edge_vertices in hypergraph.edges.values():
+        if not any(edge_vertices <= bag for bag in bags):
+            return False
+    # Running intersection: for every vertex, the bags containing it are connected.
+    adjacency: Dict[int, Set[int]] = {index: set() for index in range(len(bags))}
+    for left, right in edges:
+        adjacency[left].add(right)
+        adjacency[right].add(left)
+    for vertex in vertices:
+        members = [index for index, bag in enumerate(bags) if vertex in bag]
+        if not members:
+            return False
+        seen = {members[0]}
+        frontier = [members[0]]
+        member_set = set(members)
+        while frontier:
+            current = frontier.pop()
+            for neighbour in adjacency[current]:
+                if neighbour in member_set and neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        if seen != member_set:
+            return False
+    return True
+
+
+def _decompositions_from_orders(hypergraph: Hypergraph):
+    """Yield bag lists of tree decompositions obtained by vertex elimination.
+
+    For every permutation of the vertices we run the standard elimination-game
+    construction.  Exponential, but queries have few attributes that matter
+    (attributes private to one relation can be merged into their relation's
+    bag, which we do up front).
+    """
+    vertices = sorted(hypergraph.vertices)
+    join_vertices = [
+        vertex for vertex in vertices if len(hypergraph.edges_containing(vertex)) > 1
+    ]
+    if not join_vertices:
+        yield [frozenset(edge) for edge in hypergraph.edges.values()]
+        return
+
+    # Primal graph restricted to join vertices.
+    neighbours: Dict[str, Set[str]] = {vertex: set() for vertex in join_vertices}
+    for edge_vertices in hypergraph.edges.values():
+        members = [vertex for vertex in edge_vertices if vertex in neighbours]
+        for left in members:
+            for right in members:
+                if left != right:
+                    neighbours[left].add(right)
+
+    seen_bag_sets = set()
+    for permutation in itertools.permutations(join_vertices):
+        graph = {vertex: set(adjacent) for vertex, adjacent in neighbours.items()}
+        bags: List[FrozenSet[str]] = []
+        for vertex in permutation:
+            bag = frozenset({vertex} | graph[vertex])
+            bags.append(bag)
+            # Connect the neighbours (fill-in) and remove the vertex.
+            for left in graph[vertex]:
+                graph[left] |= graph[vertex] - {left, vertex}
+                graph[left].discard(vertex)
+            del graph[vertex]
+        # Each relation contributes a bag of its own attributes (covered by the
+        # relation itself, so it never increases the width); the elimination
+        # bags above cover the interactions between join attributes.
+        full_bags = list(bags)
+        for edge_vertices in hypergraph.edges.values():
+            full_bags.append(frozenset(edge_vertices))
+        key = frozenset(full_bags)
+        if key not in seen_bag_sets:
+            seen_bag_sets.add(key)
+            yield full_bags
+
+
+def fractional_hypertree_width(hypergraph: Hypergraph, max_permutations: int = 5040) -> float:
+    """Exact fractional hypertree width for small queries.
+
+    Minimises, over elimination-order tree decompositions, the maximum
+    fractional edge cover number of a bag.  ``max_permutations`` caps the
+    search (7! by default) to keep the computation bounded.
+    """
+    best = float("inf")
+    for count, bags in enumerate(_decompositions_from_orders(hypergraph)):
+        if count >= max_permutations:
+            break
+        width = max(fractional_edge_cover_number(hypergraph, bag) for bag in bags)
+        best = min(best, width)
+    if best == float("inf"):
+        # No join vertices at all: width is the max cover of a single edge = 1.
+        best = 1.0
+    return best
+
+
+def variable_order_width(order: VariableOrder, hypergraph: Hypergraph) -> float:
+    """The width of a specific variable order.
+
+    The width is the maximum, over nodes, of the fractional edge cover number
+    of ``{variable} ∪ key`` — the attributes that co-occur in the
+    factorisation fragment rooted at the node.
+    """
+    width = 0.0
+    for node in order.nodes():
+        cover_set = set(node.key) | {node.variable}
+        width = max(width, fractional_edge_cover_number(hypergraph, cover_set))
+    return width
+
+
+def factorization_width(
+    hypergraph: Hypergraph, orders: Iterable[VariableOrder]
+) -> float:
+    """Minimum width over the supplied candidate variable orders.
+
+    The true factorisation width ``s(Q)`` minimises over *all* valid variable
+    orders; callers typically pass orders derived from every join-tree rooting
+    (sufficient for the acyclic feature-extraction queries used here, where the
+    optimum is 1).
+    """
+    best = float("inf")
+    for order in orders:
+        best = min(best, variable_order_width(order, hypergraph))
+    return best

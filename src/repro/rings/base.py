@@ -1,0 +1,141 @@
+"""Ring and semiring protocol.
+
+A semiring ``(D, +, *, 0, 1)`` supports the factorised evaluation of joins and
+aggregates; a ring additionally has additive inverses, which gives the uniform
+treatment of inserts and deletes used by the IVM subsystem.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterable, List, Sequence, Tuple
+
+
+class Semiring(abc.ABC):
+    """Abstract commutative semiring over elements of some domain."""
+
+    @abc.abstractmethod
+    def zero(self) -> Any:
+        """Additive identity."""
+
+    @abc.abstractmethod
+    def one(self) -> Any:
+        """Multiplicative identity."""
+
+    @abc.abstractmethod
+    def add(self, left: Any, right: Any) -> Any:
+        """Commutative, associative addition."""
+
+    @abc.abstractmethod
+    def multiply(self, left: Any, right: Any) -> Any:
+        """Associative multiplication distributing over addition."""
+
+    # -- derived helpers -----------------------------------------------------------
+
+    def sum(self, elements: Iterable[Any]) -> Any:
+        total = self.zero()
+        for element in elements:
+            total = self.add(total, element)
+        return total
+
+    def product(self, elements: Iterable[Any]) -> Any:
+        total = self.one()
+        for element in elements:
+            total = self.multiply(total, element)
+        return total
+
+    def equal(self, left: Any, right: Any) -> bool:
+        """Equality of ring elements (overridable for approximate domains)."""
+        return left == right
+
+    def scale(self, element: Any, factor: int) -> Any:
+        """``element`` added to itself ``factor`` times (factor >= 0)."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative for a semiring")
+        total = self.zero()
+        for _ in range(factor):
+            total = self.add(total, element)
+        return total
+
+
+class Ring(Semiring):
+    """A semiring with additive inverses."""
+
+    @abc.abstractmethod
+    def negate(self, element: Any) -> Any:
+        """Additive inverse."""
+
+    def subtract(self, left: Any, right: Any) -> Any:
+        return self.add(left, self.negate(right))
+
+    def scale(self, element: Any, factor: int) -> Any:
+        """Integer scaling; negative factors use the additive inverse."""
+        if factor < 0:
+            return self.negate(super().scale(element, -factor))
+        return super().scale(element, factor)
+
+
+def check_semiring_axioms(semiring: Semiring, elements: Sequence[Any]) -> List[str]:
+    """Check the semiring axioms on the given sample elements.
+
+    Returns a list of human-readable violations (empty when all axioms hold on
+    the sample).  Used by the property-based tests.
+    """
+    violations: List[str] = []
+    zero, one = semiring.zero(), semiring.one()
+
+    def eq(left: Any, right: Any) -> bool:
+        return semiring.equal(left, right)
+
+    for a in elements:
+        if not eq(semiring.add(zero, a), a) or not eq(semiring.add(a, zero), a):
+            violations.append(f"0 is not an additive identity for {a!r}")
+        if not eq(semiring.multiply(one, a), a) or not eq(semiring.multiply(a, one), a):
+            violations.append(f"1 is not a multiplicative identity for {a!r}")
+        if not eq(semiring.multiply(zero, a), zero) or not eq(semiring.multiply(a, zero), zero):
+            violations.append(f"0 is not absorbing for {a!r}")
+
+    for a in elements:
+        for b in elements:
+            if not eq(semiring.add(a, b), semiring.add(b, a)):
+                violations.append(f"addition is not commutative on ({a!r}, {b!r})")
+
+    for a in elements:
+        for b in elements:
+            for c in elements:
+                if not eq(
+                    semiring.add(semiring.add(a, b), c),
+                    semiring.add(a, semiring.add(b, c)),
+                ):
+                    violations.append(f"addition is not associative on ({a!r}, {b!r}, {c!r})")
+                if not eq(
+                    semiring.multiply(semiring.multiply(a, b), c),
+                    semiring.multiply(a, semiring.multiply(b, c)),
+                ):
+                    violations.append(
+                        f"multiplication is not associative on ({a!r}, {b!r}, {c!r})"
+                    )
+                if not eq(
+                    semiring.multiply(a, semiring.add(b, c)),
+                    semiring.add(semiring.multiply(a, b), semiring.multiply(a, c)),
+                ):
+                    violations.append(f"left distributivity fails on ({a!r}, {b!r}, {c!r})")
+                if not eq(
+                    semiring.multiply(semiring.add(a, b), c),
+                    semiring.add(semiring.multiply(a, c), semiring.multiply(b, c)),
+                ):
+                    violations.append(f"right distributivity fails on ({a!r}, {b!r}, {c!r})")
+    return violations
+
+
+def check_ring_axioms(ring: Ring, elements: Sequence[Any]) -> List[str]:
+    """Check the ring axioms (semiring axioms plus additive inverses)."""
+    violations = check_semiring_axioms(ring, elements)
+    zero = ring.zero()
+    for a in elements:
+        negated = ring.negate(a)
+        if not ring.equal(ring.add(a, negated), zero) or not ring.equal(
+            ring.add(negated, a), zero
+        ):
+            violations.append(f"additive inverse fails for {a!r}")
+    return violations

@@ -1,0 +1,100 @@
+"""Numeric (semi)rings: counting, integers, reals, max-plus."""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.rings.base import Ring, Semiring
+
+
+class CountingSemiring(Semiring):
+    """Natural numbers with the usual addition and multiplication.
+
+    Used to evaluate ``SUM(1)`` (COUNT) over a factorised join, as in Figure 9
+    (left) of the paper.
+    """
+
+    def zero(self) -> int:
+        return 0
+
+    def one(self) -> int:
+        return 1
+
+    def add(self, left: int, right: int) -> int:
+        return left + right
+
+    def multiply(self, left: int, right: int) -> int:
+        return left * right
+
+
+class IntegerRing(Ring):
+    """The ring of integers; the home of tuple multiplicities."""
+
+    def zero(self) -> int:
+        return 0
+
+    def one(self) -> int:
+        return 1
+
+    def add(self, left: int, right: int) -> int:
+        return left + right
+
+    def multiply(self, left: int, right: int) -> int:
+        return left * right
+
+    def negate(self, element: int) -> int:
+        return -element
+
+
+class RealRing(Ring):
+    """Real numbers under + and *; sums of products of continuous features."""
+
+    def __init__(self, tolerance: float = 1e-9) -> None:
+        self.tolerance = tolerance
+
+    def zero(self) -> float:
+        return 0.0
+
+    def one(self) -> float:
+        return 1.0
+
+    def add(self, left: float, right: float) -> float:
+        return left + right
+
+    def multiply(self, left: float, right: float) -> float:
+        return left * right
+
+    def negate(self, element: float) -> float:
+        return -element
+
+    def equal(self, left: float, right: float) -> bool:
+        return math.isclose(left, right, rel_tol=self.tolerance, abs_tol=self.tolerance)
+
+
+class MaxPlusSemiring(Semiring):
+    """The tropical (max, +) semiring.
+
+    Included to demonstrate that the same factorised evaluation machinery
+    answers optimisation-flavoured aggregates (e.g. the maximum total weight of
+    a join result) — the FAQ generalisation mentioned in Section 3.1.
+    """
+
+    NEGATIVE_INFINITY = float("-inf")
+
+    def zero(self) -> float:
+        return self.NEGATIVE_INFINITY
+
+    def one(self) -> float:
+        return 0.0
+
+    def add(self, left: float, right: float) -> float:
+        return max(left, right)
+
+    def multiply(self, left: float, right: float) -> float:
+        return left + right
+
+    def equal(self, left: float, right: float) -> bool:
+        if left == right:
+            return True
+        return math.isclose(left, right, rel_tol=1e-9, abs_tol=1e-9)

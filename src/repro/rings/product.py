@@ -1,0 +1,59 @@
+"""Product-ring combinator.
+
+The component-wise product of rings is again a ring.  It models evaluating
+several independent aggregates in one pass (e.g. a COUNT alongside a SUM),
+which is the simplest form of sharing a scan across a batch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Tuple
+
+from repro.rings.base import Ring, Semiring
+
+
+class ProductRing(Ring):
+    """Component-wise product of a sequence of (semi)rings.
+
+    Elements are tuples with one component per factor ring.  ``negate`` is only
+    available when every factor is a :class:`Ring`.
+    """
+
+    def __init__(self, factors: Sequence[Semiring]) -> None:
+        if not factors:
+            raise ValueError("ProductRing needs at least one factor")
+        self.factors: Tuple[Semiring, ...] = tuple(factors)
+
+    def zero(self) -> Tuple[Any, ...]:
+        return tuple(factor.zero() for factor in self.factors)
+
+    def one(self) -> Tuple[Any, ...]:
+        return tuple(factor.one() for factor in self.factors)
+
+    def add(self, left: Tuple[Any, ...], right: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        return tuple(
+            factor.add(left_value, right_value)
+            for factor, left_value, right_value in zip(self.factors, left, right)
+        )
+
+    def multiply(self, left: Tuple[Any, ...], right: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        return tuple(
+            factor.multiply(left_value, right_value)
+            for factor, left_value, right_value in zip(self.factors, left, right)
+        )
+
+    def negate(self, element: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        negated = []
+        for factor, value in zip(self.factors, element):
+            if not isinstance(factor, Ring):
+                raise TypeError(
+                    f"factor {factor!r} is not a ring; the product has no additive inverse"
+                )
+            negated.append(factor.negate(value))
+        return tuple(negated)
+
+    def equal(self, left: Tuple[Any, ...], right: Tuple[Any, ...]) -> bool:
+        return all(
+            factor.equal(left_value, right_value)
+            for factor, left_value, right_value in zip(self.factors, left, right)
+        )

@@ -1,0 +1,77 @@
+"""The relational semiring of Section 5.1.
+
+Relations (with the same schema) can be added via multiset union and relations
+with disjoint schemas can be multiplied via Cartesian product.  A relation is
+thus a sum-product expression over singleton relations, which is exactly the
+reading that factorised representations exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.data.attribute import Schema
+from repro.data.relation import Relation
+from repro.data import algebra
+from repro.rings.base import Semiring
+
+
+class RelationalSemiring(Semiring):
+    """Semiring whose elements are multiset relations.
+
+    ``zero`` is the empty relation over the empty schema and ``one`` is the
+    relation containing the single empty tuple.  Addition requires operands
+    with identical schemas (the zero element is compatible with everything),
+    multiplication requires disjoint schemas.
+    """
+
+    EMPTY_SCHEMA = Schema(())
+
+    def zero(self) -> Relation:
+        return Relation("zero", self.EMPTY_SCHEMA)
+
+    def one(self) -> Relation:
+        relation = Relation("one", self.EMPTY_SCHEMA)
+        relation.add((), 1)
+        return relation
+
+    @staticmethod
+    def _is_zero(relation: Relation) -> bool:
+        return len(relation) == 0
+
+    def add(self, left: Relation, right: Relation) -> Relation:
+        # The empty relation acts as a polymorphic additive identity so that
+        # semiring folds can start from ``zero()`` regardless of schema.
+        if self._is_zero(left):
+            return right.copy()
+        if self._is_zero(right):
+            return left.copy()
+        return algebra.union(left, right, name="sum")
+
+    def multiply(self, left: Relation, right: Relation) -> Relation:
+        return algebra.cartesian_product(left, right, name="product")
+
+    def equal(self, left: Relation, right: Relation) -> bool:
+        if self._is_zero(left) and self._is_zero(right):
+            return True
+        return left == right
+
+    # -- lifting ---------------------------------------------------------------------
+
+    @staticmethod
+    def singleton(attribute: str, value: object, categorical: bool = False) -> Relation:
+        """The single-attribute, single-tuple relation ``{(value)}``."""
+        schema = Schema.from_names([attribute], [attribute] if categorical else None)
+        relation = Relation(f"singleton({attribute})", schema)
+        relation.add((value,))
+        return relation
+
+    @staticmethod
+    def from_tuples(
+        attribute_names: Sequence[str], tuples: Sequence[Tuple], name: str = "relation"
+    ) -> Relation:
+        schema = Schema.from_names(list(attribute_names))
+        relation = Relation(name, schema)
+        for row in tuples:
+            relation.add(row)
+        return relation

@@ -1,0 +1,72 @@
+"""Shared fixtures: small databases and queries used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import Database, Relation, Schema
+from repro.datasets import (
+    favorita_database,
+    favorita_query,
+    orders_database,
+    orders_query,
+    retailer_database,
+    retailer_query,
+)
+from repro.query import ConjunctiveQuery
+
+
+@pytest.fixture()
+def toy_database():
+    """The Orders/Dish/Items database of Figure 7."""
+    return orders_database()
+
+
+@pytest.fixture()
+def toy_query():
+    return orders_query()
+
+
+@pytest.fixture(scope="session")
+def small_retailer():
+    """A small retailer instance reused by engine/ML tests (read-only)."""
+    return retailer_database(inventory_rows=400, stores=6, items=15, dates=8, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_retailer_query():
+    return retailer_query()
+
+
+@pytest.fixture(scope="session")
+def small_favorita():
+    return favorita_database(sales_rows=300, stores=6, items=20, dates=10, seed=5)
+
+
+@pytest.fixture(scope="session")
+def small_favorita_query():
+    return favorita_query()
+
+
+@pytest.fixture()
+def sri_database():
+    """The S(i,s,u) ⋈ R(s,c) ⋈ I(i,p) example of Section 5.3."""
+    sales = Relation(
+        "S",
+        Schema.from_names(["i", "s", "u"]),
+        rows=[
+            (0, 0, 3.0), (0, 1, 4.0), (1, 0, 5.0), (1, 1, 6.5),
+            (2, 0, 7.0), (2, 1, 8.5), (3, 0, 2.0), (3, 1, 9.0),
+            (0, 0, 3.5), (1, 1, 6.0),
+        ],
+    )
+    stores = Relation("R", Schema.from_names(["s", "c"]), rows=[(0, 10.0), (1, 12.5)])
+    items = Relation(
+        "I", Schema.from_names(["i", "p"]), rows=[(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.5)]
+    )
+    return Database([sales, stores, items], name="sri")
+
+
+@pytest.fixture()
+def sri_query():
+    return ConjunctiveQuery(["S", "R", "I"], name="Q")

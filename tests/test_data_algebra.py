@@ -1,0 +1,129 @@
+"""Tests for the multiset relational-algebra operators."""
+
+import pytest
+
+from repro.data import Relation, Schema, algebra
+from repro.data.attribute import SchemaError
+from repro.data.relation import relation_from_rows
+
+
+@pytest.fixture()
+def orders():
+    return relation_from_rows(
+        "Orders", ["customer", "dish"],
+        [("elise", "burger"), ("steve", "hotdog"), ("joe", "hotdog")],
+        categorical=["customer", "dish"],
+    )
+
+
+@pytest.fixture()
+def dishes():
+    return relation_from_rows(
+        "Dishes", ["dish", "price"],
+        [("burger", 8), ("hotdog", 5), ("salad", 6)],
+        categorical=["dish"],
+    )
+
+
+def test_select_keeps_matching_rows(orders):
+    cheap = algebra.select(orders, lambda row: row["dish"] == "hotdog")
+    assert len(cheap) == 2
+    assert all(row[1] == "hotdog" for row in cheap)
+
+
+def test_select_equals_fast_path_matches_generic(orders):
+    generic = algebra.select(orders, lambda row: row["customer"] == "joe")
+    fast = algebra.select_equals(orders, "customer", "joe")
+    assert generic == fast
+
+
+def test_project_accumulates_multiplicities(orders):
+    projected = algebra.project(orders, ["dish"])
+    assert projected.multiplicity(("hotdog",)) == 2
+    assert projected.schema.names == ("dish",)
+
+
+def test_rename(orders):
+    renamed = algebra.rename(orders, {"customer": "person"})
+    assert renamed.schema.names == ("person", "dish")
+    assert len(renamed) == len(orders)
+
+
+def test_union_adds_multiplicities(orders):
+    doubled = algebra.union(orders, orders)
+    assert doubled.multiplicity(("joe", "hotdog")) == 2
+
+
+def test_union_requires_same_schema(orders, dishes):
+    with pytest.raises(SchemaError):
+        algebra.union(orders, dishes)
+
+
+def test_difference_cancels_tuples(orders):
+    empty = algebra.difference(orders, orders)
+    assert len(empty) == 0
+
+
+def test_cartesian_product_multiplies(orders):
+    tags = relation_from_rows("Tags", ["tag"], [("a",), ("b",)], categorical=["tag"])
+    product = algebra.cartesian_product(orders, tags)
+    assert len(product) == len(orders) * 2
+    assert product.schema.names == ("customer", "dish", "tag")
+
+
+def test_cartesian_product_rejects_shared_attributes(orders):
+    with pytest.raises(SchemaError):
+        algebra.cartesian_product(orders, orders)
+
+
+def test_natural_join_on_shared_attribute(orders, dishes):
+    joined = algebra.natural_join(orders, dishes)
+    assert len(joined) == 3
+    assert joined.schema.names == ("customer", "dish", "price")
+    assert joined.multiplicity(("steve", "hotdog", 5)) == 1
+
+
+def test_natural_join_multiplies_multiplicities(orders, dishes):
+    orders.add(("joe", "hotdog"), 2)          # multiplicity 3 now
+    joined = algebra.natural_join(orders, dishes)
+    assert joined.multiplicity(("joe", "hotdog", 5)) == 3
+
+
+def test_natural_join_without_shared_attributes_is_product(orders):
+    tags = relation_from_rows("Tags", ["tag"], [("a",)], categorical=["tag"])
+    joined = algebra.natural_join(orders, tags)
+    assert len(joined) == len(orders)
+
+
+def test_natural_join_all_left_deep(orders, dishes):
+    extras = relation_from_rows("Extras", ["dish", "calories"], [("burger", 700), ("hotdog", 400)],
+                                categorical=["dish"])
+    joined = algebra.natural_join_all([orders, dishes, extras])
+    assert len(joined) == 3
+    assert set(joined.schema.names) == {"customer", "dish", "price", "calories"}
+
+
+def test_semi_join(orders, dishes):
+    only_known = algebra.semi_join(dishes, orders)
+    assert set(row[0] for row in only_known) == {"burger", "hotdog"}
+
+
+def test_group_by_aggregate_sums_with_multiplicity(orders, dishes):
+    joined = algebra.natural_join(orders, dishes)
+    totals = algebra.group_by_aggregate(joined, ["dish"], lambda row: row["price"], "total")
+    values = {row[0]: row[1] for row in totals}
+    assert values == {"burger": 8.0, "hotdog": 10.0}
+
+
+def test_aggregate_scalar_and_count(orders, dishes):
+    joined = algebra.natural_join(orders, dishes)
+    assert algebra.aggregate_scalar(joined, lambda row: row["price"]) == 18.0
+    assert algebra.count_rows(joined) == 3
+
+
+def test_join_is_commutative_on_content(orders, dishes):
+    left = algebra.natural_join(orders, dishes)
+    right = algebra.natural_join(dishes, orders)
+    left_set = {tuple(sorted(zip(left.schema.names, row))) for row in left}
+    right_set = {tuple(sorted(zip(right.schema.names, row))) for row in right}
+    assert left_set == right_set

@@ -1,0 +1,107 @@
+"""Tests for multiset relations."""
+
+import pytest
+
+from repro.data import Relation, Schema
+from repro.data.relation import RelationError, relation_from_rows
+
+
+@pytest.fixture()
+def people():
+    return relation_from_rows(
+        "People", ["name", "age"], [("ann", 30), ("bob", 40), ("ann", 30)], categorical=["name"]
+    )
+
+
+def test_multiplicities_accumulate(people):
+    assert people.multiplicity(("ann", 30)) == 2
+    assert people.multiplicity(("bob", 40)) == 1
+    assert len(people) == 2
+    assert people.total_multiplicity() == 3
+
+
+def test_add_negative_multiplicity_deletes(people):
+    people.add(("ann", 30), -2)
+    assert ("ann", 30) not in people
+    assert len(people) == 1
+
+
+def test_remove_below_zero_keeps_negative_multiplicity(people):
+    people.remove(("bob", 40), 3)
+    assert people.multiplicity(("bob", 40)) == -2
+
+
+def test_add_zero_multiplicity_is_noop(people):
+    people.add(("carol", 25), 0)
+    assert ("carol", 25) not in people
+
+
+def test_arity_mismatch_raises(people):
+    with pytest.raises(RelationError):
+        people.add(("dave",))
+
+
+def test_expanded_rows_repeat_by_multiplicity(people):
+    rows = list(people.expanded_rows())
+    assert rows.count(("ann", 30)) == 2
+    assert len(rows) == 3
+
+
+def test_expanded_rows_reject_negative(people):
+    people.add(("zed", 1), -1)
+    with pytest.raises(RelationError):
+        list(people.expanded_rows())
+
+
+def test_column_and_active_domain(people):
+    assert sorted(people.column("name")) == ["ann", "bob"]
+    assert people.active_domain("age") == [30, 40]
+
+
+def test_copy_is_independent(people):
+    clone = people.copy("Clone")
+    clone.add(("carol", 22))
+    assert ("carol", 22) not in people
+    assert clone.name == "Clone"
+
+
+def test_empty_like_has_schema_but_no_rows(people):
+    empty = people.empty_like()
+    assert len(empty) == 0
+    assert empty.schema.names == people.schema.names
+
+
+def test_from_dicts_and_from_columns_agree():
+    schema = Schema.from_names(["a", "b"])
+    from_dicts = Relation.from_dicts("R", schema, [{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+    from_columns = Relation.from_columns("R", schema, {"a": [1, 3], "b": [2, 4]})
+    assert from_dicts == from_columns
+
+
+def test_from_columns_validates_lengths():
+    schema = Schema.from_names(["a", "b"])
+    with pytest.raises(RelationError):
+        Relation.from_columns("R", schema, {"a": [1], "b": [2, 3]})
+    with pytest.raises(RelationError):
+        Relation.from_columns("R", schema, {"a": [1]})
+
+
+def test_equality_ignores_name(people):
+    clone = people.copy("Other")
+    assert clone == people
+
+
+def test_sample_rows_is_deterministic(people):
+    assert people.sample_rows(1, seed=4) == people.sample_rows(1, seed=4)
+    assert len(people.sample_rows(10)) == 2
+
+
+def test_row_dicts(people):
+    rows = list(people.row_dicts())
+    assert {"name": "bob", "age": 40} in rows
+
+
+def test_to_table_renders_multiplicity(people):
+    table = people.to_table()
+    assert "name | age" in table
+    assert "(x2)" in table

@@ -1,0 +1,254 @@
+"""Tests for the LMFAO-style engine: planning, sharing, correctness vs baseline."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates import (
+    Aggregate,
+    AggregateBatch,
+    Filter,
+    FilterOp,
+    InequalityCondition,
+    covariance_batch,
+)
+from repro.data import Database, Relation, Schema
+from repro.engine import EngineOptions, LMFAOEngine, MaterializedJoinEngine, plan_batch
+from repro.engine.plan import designate_attributes
+from repro.query import ConjunctiveQuery, build_join_tree
+
+
+def _values_close(left, right, tolerance=1e-6):
+    if isinstance(left, dict) or isinstance(right, dict):
+        left = left if isinstance(left, dict) else {}
+        right = right if isinstance(right, dict) else {}
+        keys = set(left) | set(right)
+        return all(
+            math.isclose(left.get(key, 0.0), right.get(key, 0.0), rel_tol=1e-9, abs_tol=tolerance)
+            for key in keys
+        )
+    return math.isclose(left, right, rel_tol=1e-9, abs_tol=tolerance)
+
+
+def _assert_engines_agree(database, query, batch, options=None):
+    lmfao = LMFAOEngine(database, query, options).evaluate(batch)
+    naive = MaterializedJoinEngine(database, query).evaluate(batch)
+    for name, value in lmfao.values.items():
+        assert _values_close(value, naive.values[name]), f"aggregate {name} differs"
+    return lmfao, naive
+
+
+# -- planning -------------------------------------------------------------------------------------------
+
+
+def test_designation_assigns_each_attribute_once(toy_database, toy_query):
+    tree = build_join_tree(toy_query.hypergraph(toy_database), root="Orders")
+    designation = designate_attributes(tree)
+    assert set(designation) == set(toy_query.variables(toy_database))
+    assert all(owner in toy_query.relation_names for owner in designation.values())
+
+
+def test_plan_shares_views_across_aggregates(small_retailer, small_retailer_query):
+    batch = covariance_batch(["inventoryunits", "prize", "maxtemp"], ["category"])
+    tree = build_join_tree(
+        small_retailer_query.hypergraph(small_retailer), root="Inventory"
+    )
+    shared = plan_batch(batch, tree, share_views=True)
+    unshared = plan_batch(batch, tree, share_views=False)
+    assert shared.total_views < unshared.total_views
+    assert shared.sharing_factor() > 1.0
+    assert shared.summary()["aggregates"] == len(batch)
+
+
+def test_plan_rejects_unknown_attributes(toy_database, toy_query):
+    tree = build_join_tree(toy_query.hypergraph(toy_database), root="Orders")
+    batch = AggregateBatch("bad", [Aggregate.sum_of(["nonexistent"])])
+    with pytest.raises(ValueError):
+        plan_batch(batch, tree)
+
+
+def test_plan_marks_inequality_aggregates_unsupported(toy_database, toy_query):
+    tree = build_join_tree(toy_query.hypergraph(toy_database), root="Orders")
+    aggregate = Aggregate(
+        product=(), group_by=(), filters=(),
+        inequality=InequalityCondition.of({"price": 1.0}, 3.0), name="violators",
+    )
+    plan = plan_batch(AggregateBatch("ineq", [aggregate]), tree)
+    assert plan.unsupported == [aggregate]
+
+
+# -- correctness against the materialised baseline ------------------------------------------------------------
+
+
+def test_count_and_sums_match_naive(toy_database, toy_query):
+    batch = AggregateBatch(
+        "basic",
+        [
+            Aggregate.count(name="count"),
+            Aggregate.sum_of(["price"], name="sum_price"),
+            Aggregate.sum_of(["price", "price"], name="sum_price_sq"),
+            Aggregate.count(group_by=["dish"], name="count_by_dish"),
+            Aggregate.sum_of(["price"], group_by=["customer", "dish"], name="price_by_cust_dish"),
+        ],
+    )
+    lmfao, _naive = _assert_engines_agree(toy_database, toy_query, batch)
+    assert lmfao.scalar("count") == pytest.approx(12.0)
+    assert lmfao.grouped("count_by_dish")[("burger",)] == pytest.approx(6.0)
+
+
+def test_filters_match_naive(toy_database, toy_query):
+    batch = AggregateBatch(
+        "filtered",
+        [
+            Aggregate.sum_of(["price"], filters=[Filter("price", FilterOp.GE, 3)], name="expensive"),
+            Aggregate.count(filters=[Filter("dish", FilterOp.EQ, "burger")], name="burgers"),
+            Aggregate.count(
+                filters=[Filter("day", FilterOp.NE, "Friday"), Filter("price", FilterOp.LT, 5)],
+                name="cheap_not_friday",
+            ),
+        ],
+    )
+    _assert_engines_agree(toy_database, toy_query, batch)
+
+
+def test_covariance_batch_matches_naive_on_retailer(small_retailer, small_retailer_query):
+    batch = covariance_batch(
+        ["inventoryunits", "prize", "maxtemp", "rain", "population"], ["category", "snow"]
+    )
+    lmfao, naive = _assert_engines_agree(small_retailer, small_retailer_query, batch)
+    assert lmfao.views_computed > 0
+    assert lmfao.plan_summary["sharing_factor"] > 1.0
+
+
+def test_inequality_fallback_matches_naive(toy_database, toy_query):
+    aggregate = Aggregate(
+        product=("price",),
+        group_by=("dish",),
+        filters=(),
+        inequality=InequalityCondition.of({"price": 1.0}, 2.0),
+        name="pricey_by_dish",
+    )
+    batch = AggregateBatch("ineq", [aggregate])
+    _assert_engines_agree(toy_database, toy_query, batch)
+
+
+@pytest.mark.parametrize(
+    "options",
+    [
+        EngineOptions(specialize=True, share=True, parallel=False),
+        EngineOptions(specialize=True, share=False, parallel=False),
+        EngineOptions(specialize=False, share=True, parallel=False),
+        EngineOptions(specialize=False, share=False, parallel=False),
+        EngineOptions(specialize=True, share=True, parallel=True, workers=2),
+    ],
+    ids=["fast", "no-share", "interpreted", "baseline", "parallel"],
+)
+def test_all_option_combinations_agree(toy_database, toy_query, options):
+    batch = covariance_batch(["price"], ["dish", "day"])
+    _assert_engines_agree(toy_database, toy_query, batch, options)
+
+
+def test_engine_root_selection_defaults_to_widest_relation(small_retailer, small_retailer_query):
+    engine = LMFAOEngine(small_retailer, small_retailer_query)
+    assert engine.join_tree.root.relation_name in small_retailer_query.relation_names
+    # Forcing the fact table as root must give the same results.
+    forced = LMFAOEngine(
+        small_retailer, small_retailer_query, EngineOptions(root_relation="Inventory")
+    )
+    batch = covariance_batch(["inventoryunits", "prize"], [])
+    default_result = engine.evaluate(batch)
+    forced_result = forced.evaluate(batch)
+    for name in default_result.values:
+        assert _values_close(default_result.values[name], forced_result.values[name])
+
+
+def test_duplicate_aggregate_names_are_disambiguated(toy_database, toy_query):
+    batch = AggregateBatch(
+        "dups", [Aggregate.count(name="agg"), Aggregate.sum_of(["price"], name="agg")]
+    )
+    result = LMFAOEngine(toy_database, toy_query).evaluate(batch)
+    assert "agg" in result.values and "agg#2" in result.values
+
+
+def test_batch_result_accessors(toy_database, toy_query):
+    batch = AggregateBatch(
+        "accessors", [Aggregate.count(name="count"), Aggregate.count(group_by=["dish"], name="by_dish")]
+    )
+    result = LMFAOEngine(toy_database, toy_query).evaluate(batch)
+    assert "count" in result
+    with pytest.raises(TypeError):
+        result.grouped("count")
+    with pytest.raises(TypeError):
+        result.scalar("by_dish")
+    assert result.value_of(batch[0]) == result["count"]
+
+
+def test_empty_relation_gives_zero_aggregates(toy_database, toy_query):
+    empty = toy_database.copy()
+    empty["Orders"].clear()
+    batch = AggregateBatch(
+        "empty", [Aggregate.count(name="count"), Aggregate.count(group_by=["dish"], name="by_dish")]
+    )
+    result = LMFAOEngine(empty, toy_query).evaluate(batch)
+    assert result.scalar("count") == 0.0
+    assert result.grouped("by_dish") == {}
+
+
+def test_naive_engine_reports_join_statistics(toy_database, toy_query):
+    engine = MaterializedJoinEngine(toy_database, toy_query)
+    result = engine.evaluate(AggregateBatch("count", [Aggregate.count(name="count")]))
+    assert result.join_rows == 12
+    assert result.elapsed_seconds >= 0
+    engine.invalidate()
+    assert engine.materialize() is not None
+
+
+# -- property-based: random batches over random data -----------------------------------------------------------
+
+
+@st.composite
+def random_star_database(draw):
+    domain = st.integers(min_value=0, max_value=3)
+    value = st.integers(min_value=-5, max_value=5)
+    fact_rows = draw(
+        st.lists(st.tuples(domain, domain, value), min_size=0, max_size=12)
+    )
+    dim1_rows = draw(st.lists(st.tuples(domain, value), min_size=0, max_size=5))
+    dim2_rows = draw(st.lists(st.tuples(domain, value), min_size=0, max_size=5))
+    database = Database(
+        [
+            Relation(
+                "F",
+                Schema.from_names(["k1", "k2", "m"], categorical_names=["k1", "k2"]),
+                rows=fact_rows,
+            ),
+            Relation("D1", Schema.from_names(["k1", "x"], categorical_names=["k1"]), rows=dim1_rows),
+            Relation("D2", Schema.from_names(["k2", "y"], categorical_names=["k2"]), rows=dim2_rows),
+        ]
+    )
+    return database
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_star_database())
+def test_engine_matches_naive_on_random_star_queries(database):
+    query = ConjunctiveQuery(["F", "D1", "D2"])
+    batch = AggregateBatch(
+        "random",
+        [
+            Aggregate.count(name="count"),
+            Aggregate.sum_of(["m"], name="sum_m"),
+            Aggregate.sum_of(["m", "x"], name="sum_mx"),
+            Aggregate.sum_of(["x", "y"], name="sum_xy"),
+            Aggregate.count(group_by=["k1"], name="count_k1"),
+            Aggregate.sum_of(["y"], group_by=["k1", "k2"], name="sum_y_by_keys"),
+            Aggregate.sum_of(["m"], filters=[Filter("x", FilterOp.GE, 0)], name="sum_m_xpos"),
+        ],
+    )
+    lmfao = LMFAOEngine(database, query).evaluate(batch)
+    naive = MaterializedJoinEngine(database, query).evaluate(batch)
+    for name, value in lmfao.values.items():
+        assert _values_close(value, naive.values[name]), name

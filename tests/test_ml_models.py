@@ -1,0 +1,379 @@
+"""Tests for the models trained from aggregate batches."""
+
+import numpy as np
+import pytest
+
+from repro.aggregates.sparse_tensor import FeatureIndex, SigmaMatrix
+from repro.inequality import NaiveInequalityEvaluator, SortedInequalityEvaluator
+from repro.ml import (
+    ChowLiuTree,
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    FactorizationMachine,
+    FDReparameterization,
+    KMeans,
+    LinearSVM,
+    ModelSelector,
+    PrincipalComponentAnalysis,
+    RelationalKMeans,
+    RidgeRegression,
+    compute_sigma,
+    mutual_information_matrix,
+    train_ridge_regression,
+)
+from repro.ml.model_selection import training_mse
+from repro.ml.statistics import one_hot_rows, sigma_from_data_matrix
+
+
+@pytest.fixture(scope="module")
+def retailer_setup(small_retailer, small_retailer_query):
+    continuous = ["inventoryunits", "prize", "maxtemp", "rain", "population"]
+    categorical = ["category", "snow"]
+    sigma = compute_sigma(small_retailer, small_retailer_query, continuous, categorical)
+    joined = small_retailer_query.evaluate(small_retailer)
+    rows = [dict(zip(joined.schema.names, row)) for row in joined.rows()]
+    return small_retailer, small_retailer_query, continuous, categorical, sigma, rows
+
+
+# -- ridge regression -----------------------------------------------------------------------------
+
+
+def test_gradient_descent_approaches_closed_form(retailer_setup):
+    _db, _query, continuous, categorical, sigma, rows = retailer_setup
+    gd_model = RidgeRegression("inventoryunits", regularization=1e-3).fit(sigma, max_iterations=5000)
+    cf_model = RidgeRegression("inventoryunits", regularization=1e-3).fit_closed_form(sigma)
+    assert gd_model.rmse(rows) == pytest.approx(cf_model.rmse(rows), rel=0.05)
+
+
+def test_closed_form_matches_numpy_lstsq_on_one_hot_matrix(retailer_setup):
+    _db, _query, continuous, categorical, sigma, rows = retailer_setup
+    model = RidgeRegression("inventoryunits", regularization=0.0).fit_closed_form(sigma)
+    matrix, index = one_hot_rows(rows, continuous, categorical)
+    target_position = index.position("inventoryunits")
+    predictors = np.delete(matrix, target_position, axis=1)
+    targets = matrix[:, target_position]
+    reference, *_ = np.linalg.lstsq(predictors, targets, rcond=None)
+    predictions_reference = predictors @ reference
+    predictions_model = model.predict(rows)
+    assert np.sqrt(np.mean((predictions_model - targets) ** 2)) == pytest.approx(
+        np.sqrt(np.mean((predictions_reference - targets) ** 2)), rel=0.05
+    )
+
+
+def test_sigma_via_engine_matches_sigma_via_data_matrix(retailer_setup):
+    _db, _query, continuous, categorical, sigma, rows = retailer_setup
+    reference = sigma_from_data_matrix(rows, continuous, categorical)
+    assert np.allclose(sigma.matrix, reference.matrix)
+
+
+def test_train_ridge_regression_end_to_end(small_retailer, small_retailer_query):
+    model, sigma = train_ridge_regression(
+        small_retailer,
+        small_retailer_query,
+        target="inventoryunits",
+        continuous=["inventoryunits", "prize", "maxtemp"],
+        categorical=["category"],
+        closed_form=True,
+    )
+    assert sigma.dimension == 1 + 3 + 5  # intercept + continuous + categories
+    assert len(model.coefficients()) == sigma.dimension - 1
+    with pytest.raises(ValueError):
+        train_ridge_regression(
+            small_retailer, small_retailer_query, "prize", ["inventoryunits"], []
+        )
+
+
+def test_warm_start_converges_faster_than_cold(retailer_setup):
+    _db, _query, _continuous, _categorical, sigma, _rows = retailer_setup
+    cold = RidgeRegression("inventoryunits").fit(sigma, tolerance=1e-10)
+    warm = RidgeRegression("inventoryunits")
+    warm.warm_start_fit(sigma, cold.parameters, tolerance=1e-10, max_iterations=2000)
+    assert warm.trace.iterations <= cold.trace.iterations
+
+
+def test_untrained_model_raises():
+    model = RidgeRegression("y")
+    with pytest.raises(RuntimeError):
+        model.coefficients()
+    with pytest.raises(RuntimeError):
+        model.predict_row({"y": 1.0})
+
+
+# -- model selection --------------------------------------------------------------------------------
+
+
+def test_model_selector_ranks_subsets(retailer_setup):
+    _db, _query, _continuous, _categorical, sigma, rows = retailer_setup
+    selector = ModelSelector(sigma, "inventoryunits")
+    candidates = selector.search(["prize", "maxtemp", "rain"], max_subset_size=2)
+    assert len(candidates) == 3 + 3          # singletons + pairs
+    best = selector.best()
+    assert best.training_mse == min(candidate.training_mse for candidate in candidates)
+
+
+def test_training_mse_from_sigma_matches_row_level_mse(retailer_setup):
+    _db, _query, continuous, categorical, sigma, rows = retailer_setup
+    model = RidgeRegression("inventoryunits", regularization=0.0).fit_closed_form(sigma)
+    analytic = training_mse(sigma, model, "inventoryunits")
+    empirical = model.rmse(rows) ** 2
+    assert analytic == pytest.approx(empirical, rel=1e-4)
+
+
+def test_model_selector_requires_candidates(retailer_setup):
+    _db, _query, _c, _k, sigma, _rows = retailer_setup
+    with pytest.raises(RuntimeError):
+        ModelSelector(sigma, "inventoryunits").best()
+
+
+# -- PCA ----------------------------------------------------------------------------------------------
+
+
+def test_pca_matches_numpy_covariance(retailer_setup):
+    _db, _query, continuous, _categorical, sigma, rows = retailer_setup
+    features = ["prize", "maxtemp", "rain", "population"]
+    pca = PrincipalComponentAnalysis(features)
+    result = pca.fit(sigma)
+    matrix = np.array([[float(row[feature]) for feature in features] for row in rows])
+    reference = np.cov(matrix, rowvar=False, bias=True)
+    eigenvalues = np.sort(np.linalg.eigvalsh(reference))[::-1]
+    assert np.allclose(np.sort(result.explained_variance)[::-1], eigenvalues, rtol=1e-6, atol=1e-6)
+    assert result.explained_variance_ratio().sum() == pytest.approx(1.0)
+    transformed = pca.transform(rows[:5])
+    assert transformed.shape == (5, len(features))
+
+
+# -- decision trees --------------------------------------------------------------------------------------
+
+
+def test_regression_tree_reduces_variance(small_retailer, small_retailer_query):
+    tree = DecisionTreeRegressor(
+        target="inventoryunits",
+        continuous=["prize", "maxtemp", "rain"],
+        categorical=["category"],
+        max_depth=2,
+        min_samples=20,
+    )
+    root = tree.fit(small_retailer, small_retailer_query)
+    assert root.count > 0
+    joined = small_retailer_query.evaluate(small_retailer)
+    rows = [dict(zip(joined.schema.names, row)) for row in joined.rows()]
+    targets = np.array([row["inventoryunits"] for row in rows])
+    predictions = np.array(tree.predict(rows))
+    baseline = np.mean((targets - targets.mean()) ** 2)
+    assert np.mean((targets - predictions) ** 2) <= baseline + 1e-9
+    if not root.is_leaf:
+        assert root.split_feature is not None
+        assert "if" in root.render()
+
+
+def test_regression_tree_depth_zero_is_constant(small_retailer, small_retailer_query):
+    tree = DecisionTreeRegressor(
+        target="inventoryunits", continuous=["prize"], max_depth=0
+    )
+    root = tree.fit(small_retailer, small_retailer_query)
+    assert root.is_leaf
+
+
+def test_classification_tree_beats_majority_class(small_favorita, small_favorita_query):
+    tree = DecisionTreeClassifier(
+        target="holiday_type",
+        continuous=["transactions", "oilprice"],
+        categorical=["city"],
+        max_depth=2,
+        min_samples=20,
+    )
+    tree.fit(small_favorita, small_favorita_query)
+    joined = small_favorita_query.evaluate(small_favorita)
+    rows = [dict(zip(joined.schema.names, row)) for row in joined.rows()]
+    truth = [row["holiday_type"] for row in rows]
+    majority = max(set(truth), key=truth.count)
+    majority_accuracy = truth.count(majority) / len(truth)
+    accuracy = sum(1 for row, label in zip(rows, truth) if tree.predict_row(row) == label) / len(truth)
+    assert accuracy >= majority_accuracy - 1e-9
+
+
+# -- k-means ------------------------------------------------------------------------------------------------
+
+
+def test_kmeans_clusters_separated_blobs():
+    rng = np.random.default_rng(0)
+    blob_a = rng.normal(loc=0.0, scale=0.2, size=(50, 2))
+    blob_b = rng.normal(loc=5.0, scale=0.2, size=(50, 2))
+    points = np.vstack([blob_a, blob_b])
+    result = KMeans(2, seed=1).fit(points)
+    centroids = sorted(result.centroids[:, 0])
+    assert centroids[0] == pytest.approx(0.0, abs=0.5)
+    assert centroids[1] == pytest.approx(5.0, abs=0.5)
+    labels = KMeans(2, seed=1)
+    labels.fit(points)
+    assert set(labels.predict(points)) == {0, 1}
+
+
+def test_relational_kmeans_coreset_is_smaller_than_join(small_retailer, small_retailer_query):
+    clustering = RelationalKMeans(["prize", "maxtemp"], clusters=3, grid_size=3, seed=2)
+    result = clustering.fit(small_retailer, small_retailer_query)
+    join_size = len(small_retailer_query.evaluate(small_retailer))
+    assert 0 < clustering.coreset_size() <= 9
+    assert clustering.coreset_size() < join_size
+    assert result.inertia >= 0
+
+
+def test_relational_kmeans_approximates_full_kmeans(small_retailer, small_retailer_query):
+    features = ["prize", "maxtemp"]
+    joined = small_retailer_query.evaluate(small_retailer)
+    rows = [dict(zip(joined.schema.names, row)) for row in joined.expanded_rows()]
+    points = np.array([[row[feature] for feature in features] for row in rows], dtype=float)
+    exact = KMeans(3, seed=0).fit(points)
+    relational = RelationalKMeans(features, clusters=3, grid_size=6, seed=0)
+    relational.fit(small_retailer, small_retailer_query)
+    exact_inertia = KMeans.inertia_of(points, None, exact.centroids)
+    relational_inertia = KMeans.inertia_of(points, None, relational.result.centroids)
+    assert relational_inertia <= 4.0 * exact_inertia + 1e-9
+
+
+def test_kmeans_input_validation():
+    with pytest.raises(ValueError):
+        KMeans(0)
+    with pytest.raises(ValueError):
+        KMeans(2).fit(np.zeros(3))
+
+
+# -- factorisation machines ------------------------------------------------------------------------------------
+
+
+def test_factorization_machine_learns_interaction():
+    rng = np.random.default_rng(1)
+    rows = []
+    for _ in range(400):
+        a, b = rng.normal(size=2)
+        rows.append({"a": a, "b": b, "y": 2.0 * a * b})
+    model = FactorizationMachine("y", ["a", "b"], rank=2, learning_rate=0.02, epochs=60, seed=1)
+    model.fit_rows(rows)
+    assert model.report.losses[-1] < model.report.losses[0] * 0.5
+    assert model.rmse(rows) < 1.0
+
+
+def test_factorization_machine_streams_from_factorized_join(sri_database, sri_query):
+    model = FactorizationMachine("u", ["i", "s", "c", "p"], rank=2, learning_rate=5e-4, epochs=20)
+    report = model.fit(sri_database, sri_query)
+    assert len(report.losses) == 20
+    assert np.isfinite(report.losses[-1])
+    assert report.losses[-1] <= report.losses[0]
+
+
+# -- SVM and inequality-based training -----------------------------------------------------------------------------
+
+
+def test_linear_svm_separates_linearly_separable_data():
+    rng = np.random.default_rng(2)
+    positives = rng.normal(loc=2.0, size=(60, 2))
+    negatives = rng.normal(loc=-2.0, size=(60, 2))
+    features = np.vstack([positives, negatives])
+    labels = np.concatenate([np.ones(60), -np.ones(60)])
+    svm = LinearSVM("label", ["f0", "f1"], iterations=300, learning_rate=0.5)
+    svm.fit_matrix(features, labels)
+    rows = [{"f0": x, "f1": y} for x, y in features]
+    assert svm.accuracy(rows, labels) > 0.95
+    assert svm.report.objective_values[-1] <= svm.report.objective_values[0]
+
+
+def test_svm_fit_from_join(sri_database, sri_query):
+    svm = LinearSVM("u", ["i", "s", "c", "p"], iterations=50)
+    svm.fit(sri_database, sri_query)
+    assert svm.weights.shape == (4,)
+
+
+# -- Chow-Liu / mutual information ------------------------------------------------------------------------------------
+
+
+def test_mutual_information_is_symmetric_nonnegative(small_retailer, small_retailer_query):
+    matrix, features = mutual_information_matrix(
+        small_retailer, small_retailer_query, ["category", "snow", "zip"]
+    )
+    assert np.allclose(matrix, matrix.T)
+    assert (matrix >= -1e-9).all()
+    assert matrix.shape == (3, 3)
+
+
+def test_chow_liu_tree_is_spanning_tree(small_retailer, small_retailer_query):
+    tree = ChowLiuTree.fit(small_retailer, small_retailer_query, ["category", "snow", "zip"])
+    assert len(tree.edges) == 2
+    assert tree.total_weight() >= 0
+    assert set(tree.features) == {"category", "snow", "zip"}
+    assert tree.neighbours("category") != []
+
+
+def test_mutual_information_of_dependent_attributes_is_higher(small_retailer, small_retailer_query):
+    # zip is functionally determined by locn's store, so MI(zip, category) should be
+    # no larger than MI(zip, zip-determining attributes); at minimum independent
+    # attributes have near-zero MI compared with self-information.
+    matrix, features = mutual_information_matrix(
+        small_retailer, small_retailer_query, ["category", "zip"]
+    )
+    assert matrix[0, 1] >= 0.0
+
+
+# -- FD reparameterisation -----------------------------------------------------------------------------------------------
+
+
+def test_fd_reparameterisation_round_trip(small_retailer, small_retailer_query):
+    fd = FDReparameterization.from_database(small_retailer, "ksn", "category")
+    assert fd.mapping  # every sku maps to one category
+
+    continuous = ["inventoryunits", "prize"]
+    categorical_full = ["ksn", "category"]
+    sigma_full = compute_sigma(small_retailer, small_retailer_query, continuous, categorical_full)
+    full_model = RidgeRegression("inventoryunits", regularization=1e-6).fit_closed_form(sigma_full)
+
+    reduced_continuous, reduced_categorical = fd.reduced_feature_lists(continuous, categorical_full)
+    assert "category" not in reduced_categorical
+    sigma_reduced = compute_sigma(
+        small_retailer, small_retailer_query, reduced_continuous, reduced_categorical
+    )
+    reduced_model = RidgeRegression("inventoryunits", regularization=1e-6).fit_closed_form(sigma_reduced)
+
+    assert fd.parameter_savings(sigma_full) == len(sigma_full.index.positions_of_feature("category"))
+    recovered = fd.recover_full_model(reduced_model, sigma_reduced)
+    assert any(name.startswith("category=") for name in recovered)
+
+    joined = small_retailer_query.evaluate(small_retailer)
+    rows = [dict(zip(joined.schema.names, row)) for row in joined.sample_rows(100, seed=2)]
+    # The reduced model predicts (numerically) as well as the full one.
+    assert reduced_model.rmse(rows) == pytest.approx(full_model.rmse(rows), rel=0.05, abs=0.5)
+
+
+def test_fd_violation_is_detected():
+    from repro.data.relation import relation_from_rows
+
+    relation = relation_from_rows(
+        "R", ["city", "country"], [("paris", "fr"), ("paris", "de")], categorical=["city", "country"]
+    )
+    with pytest.raises(ValueError):
+        FDReparameterization.from_relation(relation, "city", "country")
+
+
+# -- inequality evaluators (property) ----------------------------------------------------------------------------------------
+
+
+def test_inequality_evaluators_agree_on_random_data():
+    rng = np.random.default_rng(5)
+    points = rng.normal(size=(300, 3))
+    values = rng.normal(size=(300, 2))
+    naive = NaiveInequalityEvaluator(points, values)
+    fast = SortedInequalityEvaluator(points, values)
+    for weights in ([1.0, 0.0, -1.0], [0.3, 2.0, 0.7]):
+        for threshold in (-1.5, 0.0, 0.9):
+            assert naive.count_above(weights, threshold) == fast.count_above(weights, threshold)
+            assert np.allclose(naive.sum_above(weights, threshold), fast.sum_above(weights, threshold))
+            assert naive.count_below(weights, threshold) == fast.count_below(weights, threshold)
+            assert np.allclose(naive.sum_below(weights, threshold), fast.sum_below(weights, threshold))
+
+
+def test_inequality_evaluator_validation():
+    with pytest.raises(ValueError):
+        NaiveInequalityEvaluator(np.zeros(3))
+    with pytest.raises(ValueError):
+        NaiveInequalityEvaluator(np.zeros((3, 2)), np.zeros((2, 2)))
+    evaluator = SortedInequalityEvaluator(np.array([[1.0], [2.0], [3.0]]))
+    assert evaluator.count_above([1.0], 2.0) == 1
+    assert evaluator.count_above([1.0], 2.0, strict=False) == 2
