@@ -19,18 +19,24 @@ from repro.aggregates import covariance_batch
 from repro.engine import EngineOptions, LMFAOEngine
 
 CONFIGURATIONS = [
-    ("baseline", EngineOptions(specialize=False, share=False, parallel=False)),
-    ("+specialisation", EngineOptions(specialize=True, share=False, parallel=False)),
-    ("+sharing", EngineOptions(specialize=True, share=True, parallel=False)),
-    ("+parallelisation", EngineOptions(specialize=True, share=True, parallel=True)),
+    ("baseline", EngineOptions(specialize=False, columnar=False, share=False, parallel=False)),
+    ("+specialisation", EngineOptions(specialize=True, columnar=False, share=False, parallel=False)),
+    ("+columnar", EngineOptions(specialize=True, columnar=True, share=False, parallel=False)),
+    ("+sharing", EngineOptions(specialize=True, columnar=True, share=True, parallel=False)),
+    ("+parallelisation", EngineOptions(specialize=True, columnar=True, share=True, parallel=True)),
 ]
 
 
-def _run_configuration(database, query, batch, options):
-    engine = LMFAOEngine(database, query, options)
-    started = time.perf_counter()
-    engine.evaluate(batch)
-    return time.perf_counter() - started
+def _run_configuration(database, query, batch, options, rounds=2):
+    # Best-of-n: single-round timings on a busy machine flake the staircase
+    # assertions below.
+    best = float("inf")
+    for _ in range(rounds):
+        engine = LMFAOEngine(database, query, options)
+        started = time.perf_counter()
+        engine.evaluate(batch)
+        best = min(best, time.perf_counter() - started)
+    return best
 
 
 @pytest.mark.parametrize("dataset_name", ["retailer", "favorita", "yelp", "tpcds"])
@@ -52,8 +58,9 @@ def test_figure6_optimisation_ablation(benchmark, bench_datasets, dataset_name):
         speedup = baseline / max(timings[name], 1e-9)
         print(f"  {name:18s} {timings[name]:8.3f}s   speedup {speedup:5.1f}x")
 
-    # Specialisation and sharing must each help; the full configuration must
-    # beat the baseline clearly.
+    # Specialisation, the columnar layout and sharing must each help; the
+    # full configuration must beat the baseline clearly.
     assert timings["+specialisation"] < baseline
-    assert timings["+sharing"] < timings["+specialisation"] * 1.05
+    assert timings["+columnar"] < timings["+specialisation"] * 1.05
+    assert timings["+sharing"] < timings["+columnar"] * 1.05
     assert baseline / timings["+sharing"] > 1.5

@@ -1,0 +1,274 @@
+"""Run the benchmark suite and write machine-readable timings.
+
+Executes the core measurements of the ``bench_figure*`` scripts directly (no
+pytest harness) and records everything in one JSON file, so the performance
+trajectory of the engine is tracked from PR to PR::
+
+    PYTHONPATH=src python benchmarks/run_all.py --output BENCH_PR1.json
+
+Per figure the file holds timings for every dataset/batch/configuration plus
+the engine options used.  For Figure 4 the file also carries the *seed*
+timings (measured from the repository's seed commit on the same machine with
+the same scales) and the resulting speedups — the headline number of the
+columnar-storage PR.  Pass ``--seed-repo <path>`` to a checkout of the seed
+commit to re-measure the reference instead of using the recorded values.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCHMARKS_DIR.parent
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.aggregates import covariance_batch  # noqa: E402
+from repro.datasets import load_dataset  # noqa: E402
+from repro.engine import EngineOptions, LMFAOEngine, MaterializedJoinEngine  # noqa: E402
+
+
+def _load_module(name: str, path: Path):
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+_conftest = _load_module("bench_conftest", BENCHMARKS_DIR / "conftest.py")
+_figure4 = _load_module("bench_figure4", BENCHMARKS_DIR / "bench_figure4_batches.py")
+_figure6 = _load_module("bench_figure6", BENCHMARKS_DIR / "bench_figure6_ablation.py")
+
+#: The scaled-down dataset sizes used by the pytest benchmark suite.
+BENCH_SCALES = _conftest.BENCH_SCALES
+
+#: A 10x larger variant where the columnar engine's advantage is measured;
+#: per-view Python overhead no longer dominates at this size.
+LARGE_SCALES = {
+    "retailer": dict(inventory_rows=15000, stores=25, items=120, dates=60),
+    "favorita": dict(sales_rows=15000, stores=25, items=120, dates=75),
+    "yelp": dict(review_rows=15000, businesses=200, users=300),
+    "tpcds": dict(sales_rows=15000, items=150, customers=250, stores=25, dates=90),
+}
+
+#: LMFAO evaluate() seconds of the seed commit (2f9b836), measured on the
+#: reference machine with the same scales, specialize=True + share=True,
+#: minimum over repeated runs.  Re-measure with --seed-repo.
+SEED_REFERENCE = {
+    "bench": {
+        "retailer": {"C": 0.03535, "R": 0.02904},
+        "favorita": {"C": 0.05454, "R": 0.03517},
+        "yelp": {"C": 0.02187, "R": 0.03414},
+        "tpcds": {"C": 0.05303, "R": 0.05467},
+    },
+    "large": {
+        "retailer": {"C": 0.26444, "R": 0.19145},
+        "favorita": {"C": 0.55298, "R": 0.31011},
+        "yelp": {"C": 0.15714, "R": 0.22698},
+        "tpcds": {"C": 0.47085, "R": 0.45512},
+    },
+}
+
+#: The Figure-6 knob staircase, taken from the benchmark script itself so the
+#: recorded trajectory always measures the configurations the suite asserts on.
+ABLATION = [
+    (
+        name,
+        dict(
+            specialize=options.specialize,
+            columnar=options.columnar,
+            share=options.share,
+            parallel=options.parallel,
+        ),
+    )
+    for name, options in _figure6.CONFIGURATIONS
+]
+
+
+def _best_of(callable_, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _figure4_timings(scales, rounds: int):
+    """LMFAO vs materialised-join timings for the C and R batches."""
+    figure = {}
+    for dataset, scale in scales.items():
+        database, query, spec = load_dataset(dataset, **scale)
+        batches = _figure4._build_batches(database, spec)
+        figure[dataset] = {}
+        for batch_name, batch in batches.items():
+            lmfao_best = float("inf")
+            for _ in range(rounds):
+                engine = LMFAOEngine(database, query)   # cold: no cached contexts
+                lmfao_best = min(lmfao_best, engine.evaluate(batch).elapsed_seconds)
+            naive = MaterializedJoinEngine(database, query)
+            naive_best = float("inf")
+            for _ in range(rounds):
+                naive.invalidate()
+                naive_best = min(naive_best, naive.evaluate(batch).elapsed_seconds)
+            figure[dataset][batch_name] = {
+                "aggregates": len(batch),
+                "lmfao_seconds": round(lmfao_best, 6),
+                "naive_seconds": round(naive_best, 6),
+                "naive_speedup": round(naive_best / max(lmfao_best, 1e-12), 2),
+            }
+    return figure
+
+
+def _figure6_timings(scales, rounds: int):
+    """Ablation of the optimisation knobs for the covariance batch."""
+    figure = {}
+    for dataset, scale in scales.items():
+        database, query, spec = load_dataset(dataset, **scale)
+        batch = covariance_batch(spec.continuous_features, spec.categorical_features)
+        figure[dataset] = {}
+        for name, options in ABLATION:
+            timing = _best_of(
+                lambda: LMFAOEngine(database, query, EngineOptions(**options)).evaluate(batch),
+                rounds,
+            )
+            figure[dataset][name] = round(timing, 6)
+    return figure
+
+
+def _measure_seed(seed_repo: Path, scales, rounds: int):
+    """Re-measure the seed reference from a checkout of the seed commit."""
+    script = r"""
+import json, sys, time, importlib.util
+root = sys.argv[1]
+sys.path.insert(0, root + "/src")
+spec = importlib.util.spec_from_file_location("bf4", root + "/benchmarks/bench_figure4_batches.py")
+bf4 = importlib.util.module_from_spec(spec); spec.loader.exec_module(bf4)
+from repro.datasets import load_dataset
+from repro.engine import LMFAOEngine
+scales = json.loads(sys.argv[2]); rounds = int(sys.argv[3])
+out = {}
+for name, scale in scales.items():
+    database, query, dspec = load_dataset(name, **scale)
+    out[name] = {}
+    for bname, batch in bf4._build_batches(database, dspec).items():
+        best = float("inf")
+        for _ in range(rounds):
+            best = min(best, LMFAOEngine(database, query).evaluate(batch).elapsed_seconds)
+        out[name][bname] = best
+print(json.dumps(out))
+"""
+    result = subprocess.run(
+        [sys.executable, "-c", script, str(seed_repo), json.dumps(scales), str(rounds)],
+        capture_output=True, text=True, check=True,
+    )
+    return json.loads(result.stdout)
+
+
+def _attach_speedups(figure, reference):
+    for dataset, batches in figure.items():
+        for batch_name, entry in batches.items():
+            seed_seconds = reference.get(dataset, {}).get(batch_name)
+            if seed_seconds:
+                entry["seed_seconds"] = round(seed_seconds, 6)
+                entry["speedup_vs_seed"] = round(
+                    seed_seconds / max(entry["lmfao_seconds"], 1e-12), 2
+                )
+
+
+def _geomean(values):
+    values = [value for value in values if value and value > 0]
+    if not values:
+        return None
+    log_sum = sum(__import__("math").log(value) for value in values)
+    return round(__import__("math").exp(log_sum / len(values)), 2)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError("must be >= 1")
+        return value
+
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_PR1.json"))
+    parser.add_argument("--rounds", type=positive_int, default=3)
+    parser.add_argument("--seed-repo", default=None,
+                        help="checkout of the seed commit to re-measure the reference")
+    parser.add_argument("--skip-large", action="store_true",
+                        help="only run the small pytest-suite scales")
+    arguments = parser.parse_args()
+
+    seed_reference = SEED_REFERENCE
+    if arguments.seed_repo:
+        seed_reference = {
+            "bench": _measure_seed(Path(arguments.seed_repo), BENCH_SCALES, arguments.rounds),
+        }
+        if not arguments.skip_large:
+            seed_reference["large"] = _measure_seed(
+                Path(arguments.seed_repo), LARGE_SCALES, arguments.rounds
+            )
+
+    report = {
+        "pr": 1,
+        "description": "columnar dictionary-encoded storage + vectorised view evaluation",
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "engine_options": {
+            "defaults": vars(EngineOptions()),
+            "ablation": {name: options for name, options in ABLATION},
+        },
+        "scales": {"bench": BENCH_SCALES, "large": LARGE_SCALES},
+        "figures": {},
+    }
+
+    for scale_name, scales in [("bench", BENCH_SCALES)] + (
+        [] if arguments.skip_large else [("large", LARGE_SCALES)]
+    ):
+        figure4 = _figure4_timings(scales, arguments.rounds)
+        _attach_speedups(figure4, seed_reference.get(scale_name, {}))
+        report["figures"][f"figure4_batches_{scale_name}"] = figure4
+
+    report["figures"]["figure6_ablation_bench"] = _figure6_timings(
+        BENCH_SCALES, arguments.rounds
+    )
+
+    large = report["figures"].get("figure4_batches_large", {})
+    speedups = [
+        entry.get("speedup_vs_seed")
+        for batches in large.values()
+        for entry in batches.values()
+    ]
+    report["headline"] = {
+        "large_scale_speedups_vs_seed": {
+            dataset: {name: entry.get("speedup_vs_seed") for name, entry in batches.items()}
+            for dataset, batches in large.items()
+        },
+        "geometric_mean_speedup_vs_seed": _geomean(speedups),
+    }
+
+    output = Path(arguments.output)
+    output.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    print(f"wrote {output}")
+    if report["headline"]["geometric_mean_speedup_vs_seed"]:
+        print(
+            "geometric-mean large-scale speedup vs seed: "
+            f'{report["headline"]["geometric_mean_speedup_vs_seed"]}x'
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -38,16 +38,21 @@ class FeatureIndex:
         }
         self.include_intercept = include_intercept
         self._positions: Dict[Tuple[str, Optional[object]], int] = {}
+        self._feature_positions: Dict[str, List[int]] = {}
         position = 0
         if include_intercept:
             self._positions[(INTERCEPT, None)] = position
+            self._feature_positions[INTERCEPT] = [position]
             position += 1
         for feature in self.continuous:
             self._positions[(feature, None)] = position
+            self._feature_positions[feature] = [position]
             position += 1
         for feature, values in self.categorical_values.items():
+            slots = self._feature_positions.setdefault(feature, [])
             for value in values:
                 self._positions[(feature, value)] = position
+                slots.append(position)
                 position += 1
         self._size = position
 
@@ -82,11 +87,7 @@ class FeatureIndex:
 
     def positions_of_feature(self, feature: str) -> List[int]:
         """All positions belonging to one feature (one for continuous, many for categorical)."""
-        return [
-            position
-            for (name, _value), position in self._positions.items()
-            if name == feature
-        ]
+        return list(self._feature_positions.get(feature, ()))
 
     def entries(self) -> List[Tuple[str, Optional[object], int]]:
         return [
@@ -174,6 +175,23 @@ def sigma_from_batch_results(
         matrix[row, column] = value
         matrix[column, row] = value
 
+    def set_symmetric_batch(rows: List[int], columns: List[int], values: List[float]) -> None:
+        """One vectorised scatter per grouped aggregate instead of per entry."""
+        if not rows:
+            return
+        row_index = np.asarray(rows, dtype=np.intp)
+        column_index = np.asarray(columns, dtype=np.intp)
+        data = np.asarray(values, dtype=np.float64)
+        matrix[row_index, column_index] = data
+        matrix[column_index, row_index] = data
+
+    # Per-feature position lookups resolved once (the grouped loops below hit
+    # them once per observed category).
+    cat_positions: Dict[str, Dict[object, int]] = {
+        feature: {value: index.position(feature, value) for value in domains[feature]}
+        for feature in categorical
+    }
+
     intercept = index.intercept_position()
     set_symmetric(intercept, intercept, float(results["count"]))
 
@@ -181,8 +199,12 @@ def sigma_from_batch_results(
         set_symmetric(intercept, index.position(feature), float(results[f"sum:{feature}"]))
     for feature in categorical:
         grouped = results[f"count@{feature}"]
-        for key, value in grouped.items():  # type: ignore[union-attr]
-            set_symmetric(intercept, index.position(feature, key[0]), float(value))
+        positions = cat_positions[feature]
+        set_symmetric_batch(
+            [intercept] * len(grouped),  # type: ignore[arg-type]
+            [positions[key[0]] for key in grouped],  # type: ignore[union-attr]
+            [float(value) for value in grouped.values()],  # type: ignore[union-attr]
+        )
 
     features: List[Tuple[str, bool]] = [(feature, False) for feature in continuous]
     features.extend((feature, True) for feature in categorical)
@@ -193,23 +215,29 @@ def sigma_from_batch_results(
                 set_symmetric(index.position(left), index.position(right), value)
             elif left_categorical and right_categorical:
                 grouped = results[f"count@{left},{right}"]
-                for key, value in grouped.items():  # type: ignore[union-attr]
-                    if left == right:
-                        set_symmetric(
-                            index.position(left, key[0]), index.position(right, key[0]), float(value)
-                        )
-                    else:
-                        set_symmetric(
-                            index.position(left, key[0]), index.position(right, key[1]), float(value)
-                        )
+                left_positions = cat_positions[left]
+                right_positions = cat_positions[right]
+                if left == right:
+                    set_symmetric_batch(
+                        [left_positions[key[0]] for key in grouped],  # type: ignore[union-attr]
+                        [right_positions[key[0]] for key in grouped],  # type: ignore[union-attr]
+                        [float(value) for value in grouped.values()],  # type: ignore[union-attr]
+                    )
+                else:
+                    set_symmetric_batch(
+                        [left_positions[key[0]] for key in grouped],  # type: ignore[union-attr]
+                        [right_positions[key[1]] for key in grouped],  # type: ignore[union-attr]
+                        [float(value) for value in grouped.values()],  # type: ignore[union-attr]
+                    )
             else:
                 continuous_feature = right if left_categorical else left
                 categorical_feature = left if left_categorical else right
                 grouped = results[f"sum:{continuous_feature}@{categorical_feature}"]
-                for key, value in grouped.items():  # type: ignore[union-attr]
-                    set_symmetric(
-                        index.position(continuous_feature),
-                        index.position(categorical_feature, key[0]),
-                        float(value),
-                    )
+                positions = cat_positions[categorical_feature]
+                continuous_position = index.position(continuous_feature)
+                set_symmetric_batch(
+                    [continuous_position] * len(grouped),  # type: ignore[arg-type]
+                    [positions[key[0]] for key in grouped],  # type: ignore[union-attr]
+                    [float(value) for value in grouped.values()],  # type: ignore[union-attr]
+                )
     return SigmaMatrix(index, matrix)

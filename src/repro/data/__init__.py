@@ -8,6 +8,7 @@ treatment of inserts and deletes and makes joins a sum-product computation.
 
 from repro.data.attribute import Attribute, AttributeType, Schema
 from repro.data.relation import Relation
+from repro.data.colstore import ColumnEncoding, ColumnStore
 from repro.data.database import Database, FunctionalDependency
 from repro.data import algebra
 from repro.data.csv_io import read_csv, write_csv
@@ -17,6 +18,8 @@ __all__ = [
     "AttributeType",
     "Schema",
     "Relation",
+    "ColumnEncoding",
+    "ColumnStore",
     "Database",
     "FunctionalDependency",
     "algebra",

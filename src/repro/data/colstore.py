@@ -1,0 +1,295 @@
+"""Dictionary-encoded columnar storage for relations.
+
+A :class:`ColumnStore` is the vectorised view of a :class:`Relation`: every
+attribute becomes a *dictionary encoding* — a small array of distinct values
+plus an integer code per row — and the multiplicities become one float array.
+All of the engine's hot operations (connection keys, group-by keys, filter
+masks, join-key alignment against child views) then reduce to integer array
+manipulation: combined keys are built by mixing per-attribute codes
+arithmetically (or via ``np.unique(axis=0)`` when the cardinality product
+would overflow), filters are evaluated once per *distinct* value and gathered
+through the codes, and numeric columns are decoded through the dictionary.
+
+Stores are cached on the relation (see :meth:`Relation.column_store`) and
+invalidated by the relation's mutation counter, so repeated batch evaluations
+— gradient descent steps, decision-tree node splits, IVM refreshes — reuse
+the encodings instead of rebuilding per-row Python state every time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ColumnEncoding", "ColumnStore", "combine_codes"]
+
+#: Cap on the mixed-radix cardinality product; above it combined keys fall
+#: back to row-wise ``np.unique(axis=0)`` to avoid int64 overflow.
+_MIX_LIMIT = 2 ** 62
+
+
+class ColumnEncoding:
+    """One dictionary-encoded column: distinct values + one int64 code per row."""
+
+    __slots__ = ("values", "codes", "_float_values", "_float_ready",
+                 "_sortable", "_sortable_ready")
+
+    def __init__(self, values: List[object], codes: np.ndarray) -> None:
+        self.values = values                      # python values, in code order
+        self.codes = codes                        # int64, one per row
+        self._float_values: Optional[np.ndarray] = None
+        self._float_ready = False
+        self._sortable: Optional[np.ndarray] = None
+        self._sortable_ready = False
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.values)
+
+    def float_values(self) -> Optional[np.ndarray]:
+        """The dictionary decoded to float64 (None when not numeric)."""
+        if not self._float_ready:
+            self._float_ready = True
+            try:
+                self._float_values = np.asarray(
+                    [float(value) for value in self.values], dtype=np.float64
+                )
+            except (TypeError, ValueError):
+                self._float_values = None
+        return self._float_values
+
+    def sortable_values(self) -> Optional[np.ndarray]:
+        """The dictionary as a typed numpy array (None when not comparable)."""
+        if not self._sortable_ready:
+            self._sortable_ready = True
+            self._sortable = as_sortable_array(self.values)
+        return self._sortable
+
+
+def as_sortable_array(values: Sequence[object]) -> Optional[np.ndarray]:
+    """A numeric or string numpy array over ``values``, or None.
+
+    Used for vectorised (searchsorted) join-key matching and filter masks:
+    both sides must reduce to the same comparable dtype kind.  Mixed-type
+    columns return None — ``np.asarray`` would silently *stringify* them,
+    which would equate e.g. ``3`` with ``"3"`` against Python semantics.
+    """
+    kinds = set(map(type, values))
+    try:
+        if kinds <= {int, bool}:
+            # Keep pure-integer dictionaries exact: casting to float64 would
+            # equate distinct values beyond 2**53.
+            array = np.asarray(values, dtype=np.int64)
+        elif kinds <= {int, bool, float}:
+            if _ints_exceed_float64_precision(values):
+                return None
+            array = np.asarray(values, dtype=np.float64)
+        elif kinds == {str}:
+            array = np.asarray(values)
+        else:
+            return None
+    except (TypeError, ValueError, OverflowError):
+        return None
+    if array.ndim != 1 or array.dtype.kind not in "iufU":
+        return None
+    return array
+
+
+def _ints_exceed_float64_precision(values) -> bool:
+    """True when an int in ``values`` would lose identity as a float64."""
+    return any(
+        isinstance(value, int) and not isinstance(value, bool) and (
+            value > 2 ** 53 or value < -(2 ** 53)
+        )
+        for value in values
+    )
+
+
+def _encode_values(raw: List[object]) -> ColumnEncoding:
+    """Dictionary-encode one column of python values."""
+    count = len(raw)
+    if count == 0:
+        return ColumnEncoding([], np.empty(0, dtype=np.int64))
+    kinds = set(map(type, raw))
+    try:
+        if kinds <= {int, bool}:
+            array = np.asarray(raw, dtype=np.int64)
+            values_array, codes = np.unique(array, return_inverse=True)
+            values = [int(value) for value in values_array.tolist()]
+        elif kinds <= {int, bool, float}:
+            if _ints_exceed_float64_precision(raw):
+                # float64 would merge distinct huge ints into one code;
+                # the first-occurrence encoder keeps Python equality.
+                raise TypeError("ints beyond float64 precision")
+            array = np.asarray(raw, dtype=np.float64)
+            values_array, codes = np.unique(array, return_inverse=True)
+            values = values_array.tolist()
+        elif kinds == {str}:
+            values_array, codes = np.unique(np.asarray(raw), return_inverse=True)
+            values = values_array.tolist()
+        else:
+            raise TypeError("mixed or non-primitive column")
+    except (TypeError, ValueError, OverflowError):
+        # Generic fallback: first-occurrence encoding through a dictionary.
+        index: Dict[object, int] = {}
+        values = []
+        codes = np.empty(count, dtype=np.int64)
+        for position, value in enumerate(raw):
+            code = index.get(value)
+            if code is None:
+                code = len(values)
+                index[value] = code
+                values.append(value)
+            codes[position] = code
+        return ColumnEncoding(values, codes)
+    return ColumnEncoding(values, codes.reshape(-1).astype(np.int64, copy=False))
+
+
+def combine_codes(
+    columns: Sequence[np.ndarray], cardinalities: Sequence[int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Combine per-attribute code columns into one code per distinct combination.
+
+    Returns ``(codes, combos)`` where ``codes[i]`` indexes the rows of the
+    ``(distinct, len(columns))`` matrix ``combos``, whose entries are the
+    per-column dictionary indices of each distinct combination.
+    """
+    if not columns:
+        return np.empty(0, dtype=np.int64), np.empty((0, 0), dtype=np.int64)
+    if len(columns) == 1:
+        uniques, inverse = np.unique(columns[0], return_inverse=True)
+        return (
+            inverse.reshape(-1).astype(np.int64, copy=False),
+            uniques.astype(np.int64, copy=False).reshape(-1, 1),
+        )
+
+    radices = [max(int(card), 1) for card in cardinalities]
+    product = 1
+    for radix in radices:
+        product *= radix
+    if 0 < product <= _MIX_LIMIT:
+        mixed = columns[0].astype(np.int64, copy=True)
+        for column, radix in zip(columns[1:], radices[1:]):
+            mixed *= radix
+            mixed += column
+        uniques, inverse = np.unique(mixed, return_inverse=True)
+        combos = np.empty((uniques.size, len(columns)), dtype=np.int64)
+        remainder = uniques
+        for position in range(len(columns) - 1, 0, -1):
+            remainder, combos[:, position] = np.divmod(remainder, radices[position])
+        combos[:, 0] = remainder
+        return inverse.reshape(-1).astype(np.int64, copy=False), combos
+
+    stacked = np.stack(columns, axis=1)
+    unique_rows, inverse = np.unique(stacked, axis=0, return_inverse=True)
+    return (
+        inverse.reshape(-1).astype(np.int64, copy=False),
+        unique_rows.astype(np.int64, copy=False),
+    )
+
+
+class ColumnStore:
+    """The columnar, dictionary-encoded snapshot of one relation.
+
+    Encodings are built lazily per attribute; combined key codes (for any
+    tuple of attributes) are cached, so connection keys, child join keys and
+    group-by keys each pay their cost once per store lifetime.
+    """
+
+    def __init__(self, relation, version: Optional[int] = None) -> None:
+        self.relation_name: str = relation.name
+        self.schema = relation.schema
+        self.version = relation.version if version is None else version
+        rows: List[Tuple] = []
+        multiplicities: List[float] = []
+        for row, multiplicity in relation.items():
+            rows.append(row)
+            multiplicities.append(float(multiplicity))
+        self.rows = rows
+        self.row_count = len(rows)
+        self.multiplicities = np.asarray(multiplicities, dtype=np.float64)
+        self._encodings: Dict[int, ColumnEncoding] = {}
+        self._float_columns: Dict[str, Optional[np.ndarray]] = {}
+        self._key_cache: Dict[
+            Tuple[str, ...],
+            Tuple[np.ndarray, List[Tuple], Optional[List[Optional[np.ndarray]]]],
+        ] = {}
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    # -- per-attribute encodings ---------------------------------------------------------
+
+    def encoding(self, attribute: str) -> ColumnEncoding:
+        position = self.schema.index_of(attribute)
+        encoding = self._encodings.get(position)
+        if encoding is None:
+            encoding = _encode_values([row[position] for row in self.rows])
+            self._encodings[position] = encoding
+        return encoding
+
+    def float_column(self, attribute: str) -> Optional[np.ndarray]:
+        """Per-row float64 values of one attribute (None when not numeric)."""
+        if attribute not in self._float_columns:
+            encoding = self.encoding(attribute)
+            decoded = encoding.float_values()
+            self._float_columns[attribute] = (
+                None if decoded is None else decoded[encoding.codes]
+            )
+        return self._float_columns[attribute]
+
+    # -- combined keys -------------------------------------------------------------------
+
+    def _key_data(
+        self, key: Tuple[str, ...]
+    ) -> Tuple[np.ndarray, List[Tuple], Optional[List[Optional[np.ndarray]]]]:
+        cached = self._key_cache.get(key)
+        if cached is not None:
+            return cached
+        if not key:
+            result: Tuple[np.ndarray, List[Tuple], Optional[List[Optional[np.ndarray]]]] = (
+                np.zeros(self.row_count, dtype=np.int64),
+                [()],
+                [],
+            )
+        else:
+            encodings = [self.encoding(attribute) for attribute in key]
+            codes, combos = combine_codes(
+                [encoding.codes for encoding in encodings],
+                [encoding.cardinality for encoding in encodings],
+            )
+            tuples = [
+                tuple(
+                    encoding.values[index]
+                    for encoding, index in zip(encodings, combo)
+                )
+                for combo in combos.tolist()
+            ]
+            columns: Optional[List[Optional[np.ndarray]]] = []
+            for position, encoding in enumerate(encodings):
+                typed = encoding.sortable_values()
+                columns.append(None if typed is None else typed[combos[:, position]])
+            result = (codes, tuples, columns)
+        self._key_cache[key] = result
+        return result
+
+    def codes_for(self, attributes: Sequence[str]) -> Tuple[np.ndarray, List[Tuple]]:
+        """Row codes and distinct value tuples for a combination of attributes.
+
+        ``codes_for(())`` maps every row to the single empty tuple, which lets
+        scalar (ungrouped, connectionless) aggregates share the same machinery.
+        """
+        codes, tuples, _columns = self._key_data(tuple(attributes))
+        return codes, tuples
+
+    def key_columns(self, attributes: Sequence[str]) -> Optional[List[np.ndarray]]:
+        """Typed per-attribute value arrays aligned with ``codes_for``'s tuples.
+
+        None when any attribute's dictionary is not a comparable typed array
+        (vectorised join-key matching then falls back to dictionary probing).
+        """
+        _codes, _tuples, columns = self._key_data(tuple(attributes))
+        if columns is None or any(column is None for column in columns):
+            return None
+        return columns  # type: ignore[return-value]

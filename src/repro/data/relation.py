@@ -49,6 +49,8 @@ class Relation:
         self.name = name
         self.schema = schema
         self._data: Dict[Row, int] = {}
+        self._version = 0
+        self._column_store = None
         if multiplicities is not None:
             for row, multiplicity in multiplicities.items():
                 self.add(tuple(row), multiplicity)
@@ -111,6 +113,7 @@ class Relation:
             self._data.pop(key, None)
         else:
             self._data[key] = updated
+        self._version += 1
 
     def remove(self, row: Sequence[RowValue], multiplicity: int = 1) -> None:
         """Remove ``multiplicity`` copies of ``row``."""
@@ -122,6 +125,30 @@ class Relation:
 
     def clear(self) -> None:
         self._data.clear()
+        self._version += 1
+
+    # -- columnar view -----------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumped on every change to the stored tuples."""
+        return self._version
+
+    def column_store(self):
+        """The cached dictionary-encoded columnar view of this relation.
+
+        The store snapshots the current tuples; any mutation (``add``,
+        ``remove``, ``clear`` — including IVM deltas applied through them)
+        bumps :attr:`version` and invalidates the cache, so the next call
+        re-encodes.  See :mod:`repro.data.colstore`.
+        """
+        from repro.data.colstore import ColumnStore
+
+        store = self._column_store
+        if store is None or store.version != self._version:
+            store = ColumnStore(self, version=self._version)
+            self._column_store = store
+        return store
 
     # -- derived views -----------------------------------------------------------
 

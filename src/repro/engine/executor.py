@@ -5,15 +5,39 @@ subtree rooted at a node: a map from the node's connection key (the join
 attributes shared with its parent) to a map from group-by assignments to the
 partial sum-product value.  Views are computed by scanning the node's relation
 once, combining each tuple with the already-computed views of the children.
+
+Three code paths implement the scan, from slowest to fastest:
+
+``_scan_interpreted``
+    every row becomes a dictionary and every attribute access resolves names
+    at runtime — the unspecialised baseline;
+``_scan_specialized``
+    tuple-at-a-time with pre-resolved column positions — the classic
+    code-specialisation step;
+``_evaluate_columnar``
+    fully vectorised over the relation's dictionary-encoded
+    :class:`~repro.data.colstore.ColumnStore`: filters are evaluated per
+    distinct value and gathered through codes, connection/group-by keys
+    become integer row codes, and child views (including *grouped,
+    multi-entry* ones) are joined through CSR-style offset tables — no
+    per-row Python at all.
+
+The columnar path handles every signature whose product attributes are
+numeric; only non-numeric products fall back to the specialised scan.  The
+per-path view counts are reported through the ``stats`` dictionary so callers
+(and benchmarks) can assert which path actually ran.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from operator import itemgetter as _itemgetter
+from typing import Dict, List, Mapping, MutableMapping, Optional, Sequence, Tuple
 
 import numpy as _np
 
+from repro.aggregates.spec import FilterOp
+from repro.data.colstore import ColumnEncoding, ColumnStore, as_sortable_array, combine_codes
 from repro.data.relation import Relation
 from repro.engine.plan import ViewSignature
 from repro.query.join_tree import JoinTreeNode
@@ -22,6 +46,12 @@ from repro.query.join_tree import JoinTreeNode
 View = Dict[Tuple, Dict[Tuple, float]]
 
 EMPTY_GROUP: Tuple = ()
+
+#: Keys used in the executor statistics dictionary.
+STAT_COLUMNAR = "views_columnar"
+STAT_TUPLE_FALLBACK = "views_tuple_fallback"
+STAT_TUPLE_SPECIALIZED = "views_tuple_specialized"
+STAT_INTERPRETED = "views_interpreted"
 
 
 def restrict_signature(
@@ -215,200 +245,846 @@ def _scan_interpreted(
                 groups[key] = groups.get(key, 0.0) + value
 
 
-class _NodeContext:
-    """Shared, columnar precomputations for one scan group at a node.
+class _ChildTable:
+    """A child view in CSR form for vectorised joins.
 
-    This is the engine's model of workload compilation: the relation is turned
-    into columns, child-view lookups are aligned to row positions once per
-    distinct child signature, filters become boolean masks, and group-by key
-    combinations become integer codes — after which every signature reduces to
-    a handful of vectorised numpy operations.
+    Join keys become *slots*; ``offsets[slot] .. offsets[slot + 1]`` delimit
+    the view's group entries for that key inside the flat ``values`` /
+    ``group_ids`` arrays.  Grouped child views therefore do not need a
+    single-entry-per-key shape to be joined vectorised: a parent row matching
+    a key with *k* group entries simply expands into *k* output rows.
     """
 
-    def __init__(self, node: JoinTreeNode, relation: Relation, conn_attributes: Sequence[str]):
+    __slots__ = ("slot_index", "offsets", "counts", "values", "group_ids",
+                 "group_pairs", "has_groups", "key_columns", "group_attrs",
+                 "slot_conn_ids", "conn_space")
+
+    def __init__(
+        self,
+        slot_index: Dict[Tuple, int],
+        offsets: _np.ndarray,
+        values: _np.ndarray,
+        group_ids: _np.ndarray,
+        group_pairs: List[Tuple],
+        has_groups: bool,
+        key_columns: Optional[List[_np.ndarray]] = None,
+        group_attrs: Optional[Tuple[str, ...]] = None,
+        slot_conn_ids: Optional[_np.ndarray] = None,
+        conn_space: Optional[Tuple[object, int]] = None,
+    ) -> None:
+        self.slot_index = slot_index
+        self.offsets = offsets
+        self.counts = _np.diff(offsets)
+        self.values = values
+        self.group_ids = group_ids
+        self.group_pairs = group_pairs
+        self.has_groups = has_groups
+        # Per key attribute: typed value arrays in slot order, when every
+        # attribute's values reduce to a comparable numpy dtype (enables the
+        # fully vectorised searchsorted join-key matching).
+        self.key_columns = key_columns
+        # The attribute sequence shared by every group-pair entry, when the
+        # entries are known to be uniform (lets parents merge group keys with
+        # one precomputed permutation instead of sorting per combination).
+        self.group_attrs = group_attrs
+        # Per slot: the key's code in the producing store's key space, plus
+        # that space's (store, cardinality) identity — lets parents reuse one
+        # cached store-to-store key mapping for every view of this child.
+        self.slot_conn_ids = slot_conn_ids
+        self.conn_space = conn_space
+
+    @staticmethod
+    def from_view(view: "View") -> "_ChildTable":
+        """Flatten a plain dict view (tuple-scan or hand-built) into CSR form."""
+        slot_index: Dict[Tuple, int] = {}
+        offsets = _np.empty(len(view) + 1, dtype=_np.int64)
+        offsets[0] = 0
+        values: List[float] = []
+        group_ids: List[int] = []
+        pair_index: Dict[Tuple, int] = {}
+        group_pairs: List[Tuple] = []
+        for slot, (key, groups) in enumerate(view.items()):
+            slot_index[key] = slot
+            for pairs, value in groups.items():
+                values.append(value)
+                gid = pair_index.get(pairs)
+                if gid is None:
+                    gid = len(group_pairs)
+                    pair_index[pairs] = gid
+                    group_pairs.append(pairs)
+                group_ids.append(gid)
+            offsets[slot + 1] = len(values)
+        key_columns: Optional[List[_np.ndarray]] = None
+        keys = list(slot_index)
+        if keys and keys[0]:
+            candidate = [
+                as_sortable_array([key[position] for key in keys])
+                for position in range(len(keys[0]))
+            ]
+            if all(column is not None for column in candidate):
+                key_columns = candidate  # type: ignore[assignment]
+        group_attrs: Optional[Tuple[str, ...]] = None
+        if group_pairs:
+            first = tuple(attribute for attribute, _value in group_pairs[0])
+            if all(
+                tuple(attribute for attribute, _value in pairs) == first
+                for pairs in group_pairs
+            ):
+                group_attrs = first
+        return _ChildTable(
+            slot_index,
+            offsets,
+            _np.asarray(values, dtype=_np.float64),
+            _np.asarray(group_ids, dtype=_np.int64),
+            group_pairs,
+            any(pairs != EMPTY_GROUP for pairs in group_pairs),
+            key_columns,
+            group_attrs,
+        )
+
+
+def _table_for(view: "View") -> _ChildTable:
+    """CSR table of a child view, array-native when the view is columnar."""
+    if isinstance(view, ColumnarView):
+        return view.table()
+    return _ChildTable.from_view(view)
+
+
+class ColumnarView(dict):
+    """A view held in columnar form, materialising its dict shape lazily.
+
+    The arrays describe one entry per *key code*: ``conn_ids[code]`` /
+    ``group_ids[code]`` index the decoded connection-key and group-pair
+    dictionaries, ``sums[code]`` is the aggregated value, and ``present``
+    (when not None) lists the codes that actually received contributions.
+    A parent node's columnar evaluation consumes :meth:`table` directly —
+    the nested-dict shape is only built if somebody *reads* the view as a
+    mapping (the root extraction, the tuple-scan fallback, or tests).
+    """
+
+    __slots__ = ("_conn_ids", "_group_ids", "_conn_keys", "_group_keys",
+                 "_sums", "_present", "_ready", "_table", "_conn_columns",
+                 "_group_attrs", "_conn_store")
+
+    def __init__(
+        self,
+        conn_ids: _np.ndarray,
+        group_ids: _np.ndarray,
+        conn_keys: List[Tuple],
+        group_keys: List[Tuple],
+        sums: _np.ndarray,
+        present: Optional[_np.ndarray],
+        conn_columns: Optional[List[_np.ndarray]] = None,
+        group_attrs: Optional[Tuple[str, ...]] = None,
+        conn_store: Optional[ColumnStore] = None,
+    ) -> None:
+        super().__init__()
+        self._conn_ids = conn_ids
+        self._group_ids = group_ids
+        self._conn_keys = conn_keys
+        self._group_keys = group_keys
+        self._sums = sums
+        self._present = present
+        self._ready = False
+        self._table: Optional[_ChildTable] = None
+        self._conn_columns = conn_columns
+        self._group_attrs = group_attrs
+        self._conn_store = conn_store
+
+    # -- columnar access -------------------------------------------------------------------
+
+    def _codes(self) -> _np.ndarray:
+        if self._present is None:
+            return _np.arange(len(self._sums), dtype=_np.int64)
+        return self._present
+
+    @property
+    def group_attrs(self) -> Optional[Tuple[str, ...]]:
+        """The fixed attribute sequence of every group key, when known."""
+        return self._group_attrs
+
+    def group_items(self) -> Optional[List[Tuple[Tuple, float]]]:
+        """All (group pairs, value) entries when the view has no connection key.
+
+        Lets the root extraction consume the arrays directly instead of first
+        materialising the nested dict; None when a real connection key exists
+        (or the dict shape was already built — then reading it is cheaper).
+        """
+        if self._ready or self._conn_keys != [()]:
+            return None
+        codes = self._codes()
+        group_keys = self._group_keys
+        return [
+            (group_keys[group_id], value)
+            for group_id, value in zip(
+                self._group_ids[codes].tolist(), self._sums[codes].tolist()
+            )
+        ]
+
+    def table(self) -> _ChildTable:
+        """CSR form grouped by connection key (built without the dict shape)."""
+        if self._table is None:
+            codes = self._codes()
+            conn = self._conn_ids[codes]
+            order = _np.argsort(conn, kind="stable")
+            selected = codes[order]
+            conn_sorted = conn[order]
+            if selected.size:
+                boundaries = _np.nonzero(_np.diff(conn_sorted))[0] + 1
+                starts = _np.concatenate(([0], boundaries))
+                offsets = _np.concatenate((starts, [selected.size]))
+                distinct = conn_sorted[starts]
+            else:
+                offsets = _np.zeros(1, dtype=_np.int64)
+                distinct = _np.empty(0, dtype=_np.int64)
+            distinct_keys = [self._conn_keys[conn_id] for conn_id in distinct.tolist()]
+            slot_index = {key: slot for slot, key in enumerate(distinct_keys)}
+            key_columns = None
+            if self._conn_columns is not None:
+                key_columns = [column[distinct] for column in self._conn_columns]
+            group_ids = self._group_ids[selected]
+            referenced = set(_np.unique(group_ids).tolist())
+            has_groups = any(
+                self._group_keys[gid] != EMPTY_GROUP for gid in referenced
+            )
+            conn_space = None
+            if self._conn_store is not None:
+                conn_space = (self._conn_store, len(self._conn_keys))
+            self._table = _ChildTable(
+                slot_index,
+                offsets.astype(_np.int64, copy=False),
+                self._sums[selected],
+                group_ids,
+                self._group_keys,
+                has_groups,
+                key_columns,
+                self._group_attrs,
+                distinct,
+                conn_space,
+            )
+        return self._table
+
+    # -- lazy dict materialisation ---------------------------------------------------------
+
+    def _canonical_keys(self) -> List[Tuple]:
+        """Group keys in the canonical attribute-sorted order of the scans."""
+        attrs = self._group_attrs
+        keys = self._group_keys
+        if attrs is None or not attrs or list(attrs) == sorted(attrs):
+            return keys
+        permutation = sorted(range(len(attrs)), key=attrs.__getitem__)
+        if len(permutation) == 1:
+            return keys
+        pick = _itemgetter(*permutation)
+        return [pick(pairs) if pairs else EMPTY_GROUP for pairs in keys]
+
+    def _materialise(self) -> "ColumnarView":
+        if not self._ready:
+            self._ready = True
+            codes = self._codes()
+            conn_keys = self._conn_keys
+            group_keys = self._canonical_keys()
+            setdefault = dict.setdefault
+            for conn_id, group_id, value in zip(
+                self._conn_ids[codes].tolist(),
+                self._group_ids[codes].tolist(),
+                self._sums[codes].tolist(),
+            ):
+                groups = setdefault(self, conn_keys[conn_id], {})
+                pairs = group_keys[group_id]
+                groups[pairs] = groups.get(pairs, 0.0) + value
+        return self
+
+    def __getitem__(self, key):
+        return dict.__getitem__(self._materialise(), key)
+
+    def __iter__(self):
+        return dict.__iter__(self._materialise())
+
+    def __len__(self):
+        return dict.__len__(self._materialise())
+
+    def __contains__(self, key):
+        return dict.__contains__(self._materialise(), key)
+
+    def __eq__(self, other):
+        if isinstance(other, ColumnarView):
+            # dict.__eq__ would read the other side's raw (possibly not yet
+            # materialised) backing storage directly.
+            other = other._materialise()
+        return dict.__eq__(self._materialise(), other)
+
+    def __ne__(self, other):
+        if isinstance(other, ColumnarView):
+            other = other._materialise()
+        return dict.__ne__(self._materialise(), other)
+
+    __hash__ = None
+
+    def __repr__(self):
+        return dict.__repr__(self._materialise())
+
+    def __bool__(self):
+        return dict.__len__(self._materialise()) > 0
+
+    def get(self, key, default=None):
+        return dict.get(self._materialise(), key, default)
+
+    def keys(self):
+        return dict.keys(self._materialise())
+
+    def values(self):
+        return dict.values(self._materialise())
+
+    def items(self):
+        return dict.items(self._materialise())
+
+    def copy(self):
+        return dict(self._materialise())
+
+    def setdefault(self, key, default=None):
+        return dict.setdefault(self._materialise(), key, default)
+
+    def pop(self, *args):
+        return dict.pop(self._materialise(), *args)
+
+    def popitem(self):
+        return dict.popitem(self._materialise())
+
+    def update(self, *args, **kwargs):
+        return dict.update(self._materialise(), *args, **kwargs)
+
+    def __reduce__(self):
+        return (dict, (dict(self._materialise()),))
+
+
+class _BaseKeys:
+    """Joint (connection key, local group-by key) coding for one node.
+
+    ``codes`` assigns every row its dense joint-key code; ``conn_ids`` and
+    ``group_ids`` decompose each code into indices of the decoded connection
+    keys and sorted group pairs.  Cached per group-by attribute tuple inside
+    the :class:`ColumnarContext`, so every view family — and every later
+    batch — reuses the arrays.
+    """
+
+    __slots__ = ("codes", "size", "conn_ids", "group_ids", "conn_keys",
+                 "group_keys", "conn_columns", "group_attrs")
+
+    def __init__(self, store: ColumnStore, conn: Tuple[str, ...], local: Tuple[str, ...]):
+        conn_row_codes, conn_tuples = store.codes_for(conn)
+        self.conn_columns = store.key_columns(conn) if conn else []
+        self.group_attrs = tuple(sorted(local))
+        joint = conn + tuple(a for a in local if a not in conn)
+        joint_codes, joint_tuples = store.codes_for(joint)
+        size = len(joint_tuples)
+        self.codes = joint_codes
+        self.size = size
+        self.conn_keys = conn_tuples
+        conn_ids = _np.zeros(size, dtype=_np.int64)
+        conn_ids[joint_codes] = conn_row_codes
+        self.conn_ids = conn_ids
+        if local:
+            local_row_codes, local_tuples = store.codes_for(local)
+            group_ids = _np.zeros(size, dtype=_np.int64)
+            group_ids[joint_codes] = local_row_codes
+            self.group_ids = group_ids
+            self.group_keys = [
+                tuple(sorted(zip(local, values))) for values in local_tuples
+            ]
+        else:
+            self.group_ids = _np.zeros(size, dtype=_np.int64)
+            self.group_keys = [EMPTY_GROUP]
+
+
+class ColumnarContext:
+    """Columnar precomputations for one node, reusable across batches.
+
+    Everything cached here depends only on the relation snapshot (through its
+    :class:`ColumnStore`) and on stable keys — attribute tuples and filter
+    conditions — never on a particular batch's child views.  The engine keeps
+    these contexts alive across ``evaluate()`` calls and drops them only when
+    the underlying relation's version changes.
+    """
+
+    def __init__(
+        self,
+        node: JoinTreeNode,
+        relation: Relation,
+        conn_attributes: Sequence[str],
+        store: Optional[ColumnStore] = None,
+    ) -> None:
         self.node = node
         self.relation = relation
+        self.store = store if store is not None else relation.column_store()
         self.conn_attributes = tuple(conn_attributes)
-        self.rows: List[Tuple] = []
-        multiplicities: List[float] = []
-        for row, multiplicity in relation.items():
-            self.rows.append(row)
-            multiplicities.append(float(multiplicity))
-        self.multiplicities = _np.asarray(multiplicities, dtype=float)
-        self.row_count = len(self.rows)
-        conn_positions = [relation.schema.index_of(attribute) for attribute in conn_attributes]
-        self.conn_keys: List[Tuple] = [
-            tuple(row[position] for position in conn_positions) for row in self.rows
-        ]
-        self._float_columns: Dict[str, Optional[_np.ndarray]] = {}
         self._filter_masks: Dict[object, _np.ndarray] = {}
-        self._alignments: Dict[object, Optional[Tuple[_np.ndarray, Optional[List[Tuple]]]]] = {}
-        self._key_codes: Dict[object, Tuple[_np.ndarray, List[Tuple[Tuple, Tuple]]]] = {}
-
-    # -- columns, filters -----------------------------------------------------------------
-
-    def float_column(self, attribute: str) -> Optional[_np.ndarray]:
-        if attribute not in self._float_columns:
-            position = self.relation.schema.index_of(attribute)
-            try:
-                column = _np.asarray(
-                    [float(row[position]) for row in self.rows], dtype=float
-                )
-            except (TypeError, ValueError):
-                column = None
-            self._float_columns[attribute] = column
-        return self._float_columns[attribute]
+        self._base_keys: Dict[Tuple[str, ...], _BaseKeys] = {}
+        # (signature, child relation) -> restricted child signature
+        self.restrict_cache: Dict[Tuple[ViewSignature, str], ViewSignature] = {}
+        # (key attrs, child store id) -> (store ref, parent key code -> child key code)
+        self._cross_maps: Dict[Tuple, Tuple[object, Optional[_np.ndarray]]] = {}
 
     def filter_mask(self, condition) -> _np.ndarray:
+        """Boolean row mask for one filter, evaluated over the dictionary.
+
+        Comparison filters against typed dictionaries are pure array
+        operations; anything else runs the condition's Python test once per
+        *distinct* value, never per row.
+        """
         key = (condition.attribute, condition.op, repr(condition.value))
         mask = self._filter_masks.get(key)
         if mask is None:
-            position = self.relation.schema.index_of(condition.attribute)
-            mask = _np.fromiter(
-                (condition.test(row[position]) for row in self.rows),
-                dtype=bool,
-                count=self.row_count,
-            )
+            encoding = self.store.encoding(condition.attribute)
+            value_mask = _vectorised_value_mask(encoding, condition)
+            if value_mask is None:
+                value_mask = _np.fromiter(
+                    (bool(condition.test(value)) for value in encoding.values),
+                    dtype=bool,
+                    count=encoding.cardinality,
+                )
+            mask = value_mask[encoding.codes]
             self._filter_masks[key] = mask
         return mask
 
-    # -- child-view alignment -----------------------------------------------------------------
+    def base_keys(self, local_attributes: Tuple[str, ...]) -> _BaseKeys:
+        base = self._base_keys.get(local_attributes)
+        if base is None:
+            base = _BaseKeys(self.store, self.conn_attributes, local_attributes)
+            self._base_keys[local_attributes] = base
+        return base
 
-    def child_alignment(
-        self, child_name: str, child_signature: ViewSignature,
-        positions: Sequence[int], child_view: View,
-    ) -> Optional[Tuple[_np.ndarray, Optional[List[Tuple]]]]:
-        """Per-row child factors (and group pairs) or None when not vectorisable."""
-        key = (child_name, child_signature)
-        if key in self._alignments:
-            return self._alignments[key]
+    def child_key_codes(self, attributes: Tuple[str, ...]) -> Tuple[_np.ndarray, List[Tuple]]:
+        return self.store.codes_for(attributes)
 
-        # Vectorisable only when every join key maps to at most one group entry.
-        single_entry = all(len(groups) <= 1 for groups in child_view.values())
-        if not single_entry:
-            self._alignments[key] = None
+    def cross_map(
+        self, key_attributes: Tuple[str, ...], table: "_ChildTable"
+    ) -> Optional[_np.ndarray]:
+        """Parent key code -> child-store key code (or -1), cached per store pair.
+
+        Every view of the same child reuses this one mapping; only a cheap
+        slot scatter remains per view.
+        """
+        if table.conn_space is None:
             return None
-
-        factors = _np.zeros(self.row_count)
-        has_groups = any(
-            next(iter(groups), EMPTY_GROUP) != EMPTY_GROUP for groups in child_view.values()
-        )
-        group_pairs: Optional[List[Tuple]] = [EMPTY_GROUP] * self.row_count if has_groups else None
-        for index, row in enumerate(self.rows):
-            child_key = tuple(row[position] for position in positions)
-            entries = child_view.get(child_key)
-            if not entries:
-                continue  # dead row: factor stays 0
-            pairs, value = next(iter(entries.items()))
-            factors[index] = value
-            if group_pairs is not None:
-                group_pairs[index] = pairs
-        alignment = (factors, group_pairs)
-        self._alignments[key] = alignment
-        return alignment
-
-    # -- combined key codes ------------------------------------------------------------------------
-
-    def key_codes(
-        self,
-        cache_key: object,
-        local_group: Sequence[Tuple[str, int]],
-        child_group_sources: Sequence[List[Tuple]],
-    ) -> Tuple[_np.ndarray, List[Tuple[Tuple, Tuple]]]:
-        """Integer codes per row for the combination (conn key, group-by pairs)."""
-        cached = self._key_codes.get(cache_key)
-        if cached is not None:
-            return cached
-        codes = _np.empty(self.row_count, dtype=_np.int64)
-        uniques: List[Tuple[Tuple, Tuple]] = []
-        index_of: Dict[Tuple[Tuple, Tuple], int] = {}
-        for index, row in enumerate(self.rows):
-            pairs: Tuple = tuple(
-                (attribute, row[position]) for attribute, position in local_group
-            )
-            for source in child_group_sources:
-                pairs = pairs + source[index]
-            combined = (self.conn_keys[index], tuple(sorted(pairs)) if pairs else EMPTY_GROUP)
-            code = index_of.get(combined)
-            if code is None:
-                code = len(uniques)
-                index_of[combined] = code
-                uniques.append(combined)
-            codes[index] = code
-        result = (codes, uniques)
-        self._key_codes[cache_key] = result
-        return result
+        child_store, _size = table.conn_space
+        # Keyed by relation name, not store identity: when the child mutates,
+        # the fresh store *replaces* the stale entry instead of accumulating
+        # one pinned snapshot per mutation over the engine's lifetime.
+        key = (key_attributes, child_store.relation_name)  # type: ignore[attr-defined]
+        cached = self._cross_maps.get(key)
+        if cached is not None and cached[0] is child_store:
+            return cached[1]
+        parent_columns = self.store.key_columns(key_attributes)
+        child_columns = child_store.key_columns(key_attributes)  # type: ignore[attr-defined]
+        mapping = None
+        if parent_columns is not None and child_columns is not None:
+            mapping = _match_key_columns(parent_columns, child_columns)
+        self._cross_maps[key] = (child_store, mapping)
+        return mapping
 
 
-def _evaluate_vectorized(
-    context: _NodeContext,
+def _match_key_columns(
+    parent_columns: List[_np.ndarray], child_columns: List[_np.ndarray]
+) -> Optional[_np.ndarray]:
+    """Vectorised key matching: child slot (or -1) per parent key combination.
+
+    Both sides are re-coded per attribute into the shared value domain (one
+    ``np.unique`` over the concatenated dictionaries), the per-attribute codes
+    are mixed arithmetically, and the parent's mixed codes are located among
+    the child's via ``searchsorted`` — no per-key Python at all.
+    """
+    parent_mixed: Optional[_np.ndarray] = None
+    child_mixed: Optional[_np.ndarray] = None
+    capacity = 1
+    for parent, child in zip(parent_columns, child_columns):
+        parent_kind = parent.dtype.kind
+        child_kind = child.dtype.kind
+        if (parent_kind in "iufb") != (child_kind in "iufb"):
+            return None
+        if (parent_kind in "iub") != (child_kind in "iub"):
+            # One integer side, one float side: concatenation would promote
+            # to float64 and collapse distinct integers beyond 2**53 —
+            # Python equality would keep them apart.  Probe the dictionary.
+            return None
+        domain = _np.unique(_np.concatenate((parent, child)))
+        capacity *= max(int(domain.size), 1)
+        if capacity > 2 ** 62:
+            return None
+        parent_codes = _np.searchsorted(domain, parent)
+        child_codes = _np.searchsorted(domain, child)
+        if parent_mixed is None:
+            parent_mixed, child_mixed = parent_codes, child_codes
+        else:
+            parent_mixed = parent_mixed * domain.size + parent_codes
+            child_mixed = child_mixed * domain.size + child_codes
+    if parent_mixed is None or child_mixed is None:
+        return None
+    if child_mixed.size == 0:
+        return _np.full(parent_mixed.size, -1, dtype=_np.int64)
+    order = _np.argsort(child_mixed)
+    ordered = child_mixed[order]
+    positions = _np.searchsorted(ordered, parent_mixed)
+    inside = positions < ordered.size
+    clipped = _np.where(inside, positions, 0)
+    matches = inside & (ordered[clipped] == parent_mixed)
+    return _np.where(matches, order[clipped], -1).astype(_np.int64, copy=False)
+
+
+def _vectorised_value_mask(encoding: ColumnEncoding, condition) -> Optional[_np.ndarray]:
+    """Array evaluation of one filter over the dictionary values, or None.
+
+    Only taken when numpy's comparison semantics provably coincide with the
+    condition's Python ``test``: numeric dictionaries against numeric
+    constants, string dictionaries against string constants.
+    """
+    typed = encoding.sortable_values()
+    if typed is None:
+        return None
+    value = condition.value
+    numeric = typed.dtype.kind in "iufb"
+    if condition.op is FilterOp.IN:
+        try:
+            elements = list(value)
+        except TypeError:
+            return None
+        if numeric:
+            if not all(isinstance(e, (int, float, bool)) for e in elements):
+                return None
+        elif not all(isinstance(e, str) for e in elements):
+            return None
+        return _np.isin(typed, elements)
+    if numeric:
+        if not isinstance(value, (int, float, bool)):
+            return None
+    elif not isinstance(value, str):
+        return None
+    try:
+        if condition.op is FilterOp.EQ:
+            return typed == value
+        if condition.op is FilterOp.NE:
+            return typed != value
+        if condition.op is FilterOp.GE:
+            return typed >= value
+        if condition.op is FilterOp.GT:
+            return typed > value
+        if condition.op is FilterOp.LE:
+            return typed <= value
+        if condition.op is FilterOp.LT:
+            return typed < value
+    except (TypeError, OverflowError):
+        # e.g. a python int beyond int64 against an integer dictionary: fall
+        # back to the exact per-value Python test.
+        return None
+    return None
+
+
+def _slot_mapping(
+    store: ColumnStore,
+    key_attributes: Tuple[str, ...],
+    table: _ChildTable,
+    row_keys: List[Tuple],
+) -> _np.ndarray:
+    """Child-table slot (or -1) per distinct parent join-key combination.
+
+    Keys whose attributes all reduce to comparable typed arrays are matched
+    fully vectorised; everything else probes the table's key dictionary once
+    per distinct combination.
+    """
+    if key_attributes and table.key_columns is not None:
+        parent_columns = store.key_columns(key_attributes)
+        if parent_columns is not None:
+            mapped = _match_key_columns(parent_columns, table.key_columns)
+            if mapped is not None:
+                return mapped
+    return _np.fromiter(
+        (table.slot_index.get(key, -1) for key in row_keys),
+        dtype=_np.int64,
+        count=len(row_keys),
+    )
+
+
+@dataclass
+class _ViewFamily:
+    """A group of signatures at one node sharing everything but their weights.
+
+    Signatures with identical locally-designated group-by attributes and
+    identical child views differ only in which numeric columns they multiply
+    and which filters zero rows out — so the engine evaluates the whole
+    family with one shared pipeline (one key coding, one child-join
+    expansion) and a *weight matrix* with one column per signature.  This is
+    the columnar analogue of LMFAO compiling all aggregates of a batch into
+    one generated scan per node.
+    """
+
+    local_attributes: Tuple[str, ...]
+    children: List[Tuple[Tuple[str, ViewSignature], Tuple[str, ...]]]
+    signatures: List[ViewSignature]
+
+
+def _build_families(
     node: JoinTreeNode,
-    relation: Relation,
-    signature: ViewSignature,
+    signatures: Sequence[ViewSignature],
+    designation: Mapping[str, str],
+    restrict_cache: Optional[Dict[Tuple[ViewSignature, str], ViewSignature]] = None,
+) -> List[_ViewFamily]:
+    """Group distinct signatures into view families (see :class:`_ViewFamily`)."""
+    here = node.relation_name
+    key_attributes = [
+        (child, tuple(sorted(child.attributes & node.attributes)))
+        for child in node.children
+    ]
+    families: Dict[Tuple, _ViewFamily] = {}
+    ordered: List[_ViewFamily] = []
+    for signature in signatures:
+        children = []
+        for child, attributes in key_attributes:
+            cache_key = (signature, child.relation_name)
+            restricted = None if restrict_cache is None else restrict_cache.get(cache_key)
+            if restricted is None:
+                restricted = restrict_signature(signature, child, designation)
+                if restrict_cache is not None:
+                    restrict_cache[cache_key] = restricted
+            children.append(((child.relation_name, restricted), attributes))
+        local_attributes = tuple(
+            attribute for attribute in signature.group_by if designation[attribute] == here
+        )
+        key = (tuple(pair[0] for pair in children), local_attributes)
+        family = families.get(key)
+        if family is None:
+            family = _ViewFamily(local_attributes, children, [])
+            families[key] = family
+            ordered.append(family)
+        family.signatures.append(signature)
+    return ordered
+
+
+def _evaluate_family(
+    context: ColumnarContext,
+    node: JoinTreeNode,
+    family: _ViewFamily,
     designation: Mapping[str, str],
     child_views: Mapping[Tuple[str, ViewSignature], View],
-) -> Optional[View]:
-    """Vectorised evaluation of one signature; None when it must fall back."""
+    child_tables: MutableMapping[Tuple[str, ViewSignature], _ChildTable],
+) -> Tuple[Dict[ViewSignature, View], List[ViewSignature]]:
+    """Vectorised evaluation of one view family.
+
+    Returns the computed views plus the signatures that must fall back to the
+    tuple scan (only those whose product references a non-numeric column).
+    Filters *zero* a signature's weight column instead of dropping rows, so
+    filtered and unfiltered signatures share the pipeline; per-signature
+    presence columns (0/1 riding along unweighted) keep the semantics of the
+    tuple scans — a group exists iff at least one row passing the signature's
+    filters reached it, even when the contributions cancel to exactly 0.0.
+    """
     here = node.relation_name
-    schema = relation.schema
-    if context.row_count == 0:
-        return {}
+    store = context.store
+    results: Dict[ViewSignature, View] = {}
+    if store.row_count == 0:
+        for signature in family.signatures:
+            results[signature] = {}
+        return results, []
 
-    values = context.multiplicities.copy()
-
-    for attribute, exponent in signature.product:
-        if designation[attribute] != here:
+    # Per-signature weight columns (multiplicity x local product, zeroed by
+    # local filters) and presence columns for the filtered signatures.
+    weight_columns: List[_np.ndarray] = []
+    presence_columns: List[Optional[_np.ndarray]] = []
+    computed: List[ViewSignature] = []
+    fallback: List[ViewSignature] = []
+    for signature in family.signatures:
+        weights = store.multiplicities
+        supported = True
+        for attribute, exponent in signature.product:
+            if designation[attribute] != here:
+                continue
+            column = store.float_column(attribute)
+            if column is None:
+                supported = False
+                break
+            weights = weights * (column if exponent == 1 else column ** exponent)
+        if not supported:
+            fallback.append(signature)
             continue
-        column = context.float_column(attribute)
-        if column is None:
-            return None
-        values = values * (column ** exponent)
+        mask: Optional[_np.ndarray] = None
+        for condition in signature.filters:
+            if designation[condition.attribute] != here:
+                continue
+            condition_mask = context.filter_mask(condition)
+            mask = condition_mask if mask is None else (mask & condition_mask)
+        if mask is not None:
+            # np.where, not multiplication: `inf * 0` would turn a filtered-out
+            # non-finite row into NaN, while the tuple scan skips it entirely.
+            weights = _np.where(mask, weights, 0.0)
+        computed.append(signature)
+        weight_columns.append(weights)
+        presence_columns.append(None if mask is None else mask.astype(_np.float64))
+    if not computed:
+        return results, fallback
 
-    child_group_sources: List[List[Tuple]] = []
-    child_source_names: List[Tuple[str, ViewSignature]] = []
-    for child in node.children:
-        child_signature = restrict_signature(signature, child, designation)
-        view = child_views[(child.relation_name, child_signature)]
-        positions = [
-            schema.index_of(attribute) for attribute in sorted(child.attributes & node.attributes)
+    def all_empty() -> Tuple[Dict[ViewSignature, View], List[ViewSignature]]:
+        for signature in computed:
+            results[signature] = {}
+        return results, fallback
+
+    matrix = _np.stack(weight_columns, axis=1)            # (rows, signatures)
+    filtered = [p for p in presence_columns if p is not None]
+    presence = _np.stack(filtered, axis=1) if filtered else None
+    base = context.base_keys(family.local_attributes)
+    codes = base.codes
+
+    # Child views: vectorised hash-join through per-key CSR offsets.  A row
+    # matching a key with several group entries expands into several output
+    # rows; rows without a match die (their key is absent from the join).
+    components: List[_np.ndarray] = []
+    decoders: List[List[Tuple]] = []
+    decoder_attrs: List[Optional[Tuple[str, ...]]] = []
+    rows: Optional[_np.ndarray] = None    # original row index per pipeline row
+    for table_key, key_attributes in family.children:
+        table = child_tables.get(table_key)
+        if table is None:
+            table = _table_for(child_views[table_key])
+            child_tables[table_key] = table
+        row_codes, row_keys = context.child_key_codes(key_attributes)
+        # At most one probe per *distinct* key combination, never per row —
+        # and when both sides are columnar, one cached store-to-store code
+        # mapping plus a slot scatter, with no per-key work at all.
+        cross = context.cross_map(key_attributes, table)
+        if cross is not None and table.slot_conn_ids is not None:
+            space = table.conn_space[1] if table.conn_space else 0
+            inverse = _np.full(max(space, 1), -1, dtype=_np.int64)
+            inverse[table.slot_conn_ids] = _np.arange(
+                table.slot_conn_ids.size, dtype=_np.int64
+            )
+            slot_of_key = _np.where(cross >= 0, inverse[cross], -1)
+        else:
+            slot_of_key = _slot_mapping(store, key_attributes, table, row_keys)
+        slots = slot_of_key[row_codes] if rows is None else slot_of_key[row_codes[rows]]
+        live = slots >= 0
+        all_live = bool(live.all())
+        if all_live and bool((table.counts[slots] == 1).all()):
+            # Every row matches exactly one entry: plain gather, no expansion.
+            entries = table.offsets[slots]
+            matrix = matrix * table.values[entries][:, None]
+            if table.has_groups:
+                components.append(table.group_ids[entries])
+                decoders.append(table.group_pairs)
+                decoder_attrs.append(table.group_attrs)
+            continue
+        counts = _np.zeros(slots.size, dtype=_np.int64)
+        if all_live:
+            counts = table.counts[slots]
+        else:
+            counts[live] = table.counts[slots[live]]
+        total = int(counts.sum())
+        if total == 0:
+            return all_empty()
+        repeats = _np.repeat(_np.arange(slots.size), counts)
+        starts = _np.zeros(slots.size, dtype=_np.int64)
+        starts[live] = table.offsets[slots[live]]
+        exclusive = _np.cumsum(counts) - counts
+        within = _np.arange(total, dtype=_np.int64) - _np.repeat(exclusive, counts)
+        entries = _np.repeat(starts, counts) + within
+        matrix = matrix[repeats] * table.values[entries][:, None]
+        if presence is not None:
+            presence = presence[repeats]
+        codes = codes[repeats]
+        rows = repeats if rows is None else rows[repeats]
+        components = [component[repeats] for component in components]
+        if table.has_groups:
+            components.append(table.group_ids[entries])
+            decoders.append(table.group_pairs)
+            decoder_attrs.append(table.group_attrs)
+
+    if not components:
+        # Base codes are dense: bincount directly, no re-uniquing needed.
+        size = base.size
+        contributing = _np.bincount(codes, minlength=size)
+        shared_present = _np.nonzero(contributing)[0]
+        conn_ids, group_ids = base.conn_ids, base.group_ids
+        conn_keys, group_keys = base.conn_keys, base.group_keys
+        group_attrs: Optional[Tuple[str, ...]] = base.group_attrs
+    else:
+        columns = [codes] + components
+        cardinalities = [max(base.size, 1)] + [max(len(d), 1) for d in decoders]
+        codes, combos = combine_codes(columns, cardinalities)
+        size = combos.shape[0]
+        conn_ids = base.conn_ids[combos[:, 0]]
+        conn_keys = base.conn_keys
+        # Compact the group identity: a code combines (connection, group) but
+        # the distinct group keys are usually far fewer than the codes, and
+        # downstream consumers (parent joins, extraction) loop over them.
+        group_columns = [base.group_ids[combos[:, 0]]] + [
+            combos[:, position] for position in range(1, combos.shape[1])
         ]
-        alignment = context.child_alignment(
-            child.relation_name, child_signature, positions, view
+        group_cardinalities = [max(len(base.group_keys), 1)] + [
+            max(len(decoder), 1) for decoder in decoders
+        ]
+        group_ids, group_combos = combine_codes(group_columns, group_cardinalities)
+        base_group_keys = base.group_keys
+        group_keys = []
+        if all(attrs is not None for attrs in decoder_attrs):
+            # Group pairs stay in concatenation order; the attribute sequence
+            # travels with the view and canonical (attribute-sorted) keys are
+            # only produced at dict-materialisation boundaries.
+            group_attrs: Optional[Tuple[str, ...]] = base.group_attrs + tuple(
+                attribute for attrs in decoder_attrs for attribute in attrs  # type: ignore[union-attr]
+            )
+            append = group_keys.append
+            for combo in group_combos.tolist():
+                pairs = base_group_keys[combo[0]]
+                for decoder, pair_code in zip(decoders, combo[1:]):
+                    pairs = pairs + decoder[pair_code]
+                append(pairs)
+        else:
+            group_attrs = None
+            for combo in group_combos.tolist():
+                pairs = base_group_keys[combo[0]]
+                for decoder, pair_code in zip(decoders, combo[1:]):
+                    pairs = pairs + decoder[pair_code]
+                group_keys.append(tuple(sorted(pairs)) if pairs else EMPTY_GROUP)
+        shared_present = None  # every combo stems from at least one pipeline row
+
+    filtered_position = 0
+    scalar_sums: Optional[_np.ndarray] = None
+    if size == 1:
+        # One key (scalar views): column sums replace per-signature bincounts.
+        scalar_sums = matrix.sum(axis=0)
+    for position, signature in enumerate(computed):
+        if scalar_sums is not None:
+            sums = scalar_sums[position : position + 1]
+        else:
+            sums = _np.bincount(codes, weights=matrix[:, position], minlength=size)
+        if presence_columns[position] is None:
+            present = shared_present
+        else:
+            passing = _np.bincount(
+                codes, weights=presence[:, filtered_position], minlength=size
+            )
+            filtered_position += 1
+            present = _np.nonzero(passing)[0]
+        results[signature] = ColumnarView(
+            conn_ids, group_ids, conn_keys, group_keys, sums, present,
+            base.conn_columns, group_attrs, store,
         )
-        if alignment is None:
-            return None
-        factors, group_pairs = alignment
-        values = values * factors
-        if group_pairs is not None:
-            child_group_sources.append(group_pairs)
-            child_source_names.append((child.relation_name, child_signature))
+    return results, fallback
 
-    mask: Optional[_np.ndarray] = None
-    for condition in signature.filters:
-        if designation[condition.attribute] != here:
-            continue
-        condition_mask = context.filter_mask(condition)
-        mask = condition_mask if mask is None else (mask & condition_mask)
-    if mask is not None:
-        values = values * mask
 
-    local_group = [
-        (attribute, schema.index_of(attribute))
-        for attribute in signature.group_by
-        if designation[attribute] == here
-    ]
-    cache_key = (tuple(attribute for attribute, _ in local_group), tuple(child_source_names))
-    codes, uniques = context.key_codes(cache_key, local_group, child_group_sources)
-    sums = _np.bincount(codes, weights=values, minlength=len(uniques))
-
-    view: View = {}
-    for position, (conn_key, group_pairs) in enumerate(uniques):
-        total = float(sums[position])
-        if total == 0.0:
-            continue
-        groups = view.setdefault(conn_key, {})
-        groups[group_pairs] = groups.get(group_pairs, 0.0) + total
-    return view
+def _context_for(
+    node: JoinTreeNode,
+    relation: Relation,
+    conn_attributes: Sequence[str],
+    context_cache: Optional[MutableMapping[Tuple, ColumnarContext]],
+) -> ColumnarContext:
+    """Fetch (or build) the node's columnar context, honouring relation versions."""
+    if context_cache is None:
+        return ColumnarContext(node, relation, conn_attributes)
+    key = (node.relation_name, tuple(conn_attributes))
+    context = context_cache.get(key)
+    store = relation.column_store()
+    if context is None or context.store is not store:
+        context = ColumnarContext(node, relation, conn_attributes, store=store)
+        context_cache[key] = context
+    return context
 
 
 def compute_node_views(
@@ -419,38 +1095,77 @@ def compute_node_views(
     child_views: Mapping[Tuple[str, ViewSignature], View],
     specialize: bool = True,
     share_scans: bool = True,
+    columnar: bool = True,
+    context_cache: Optional[MutableMapping[Tuple, ColumnarContext]] = None,
+    stats: Optional[MutableMapping[str, int]] = None,
 ) -> Dict[ViewSignature, View]:
     """Compute the views for all ``signatures`` at one node.
 
-    With ``specialize`` the evaluation is compiled to columnar numpy operations
-    (with a tuple-at-a-time fallback for signatures the fast path cannot
-    handle); without it every row is interpreted through dictionary lookups.
-    ``share_scans=True`` shares the per-node precomputation (and the scan)
-    across all signatures; otherwise each signature re-scans the relation.
+    With ``specialize`` the evaluation is compiled: to vectorised operations
+    over the relation's dictionary-encoded column store when ``columnar`` is
+    on (falling back to a position-resolved tuple scan only for non-numeric
+    product attributes), or to the tuple scan for every signature when it is
+    off.  Without ``specialize`` every row is interpreted through dictionary
+    lookups.  ``share_scans=True`` shares the per-node precomputation (and
+    the scan) across all signatures; otherwise each signature re-encodes and
+    re-scans the relation, modelling an engine without scan sharing.
+    ``context_cache`` (used by the engine) carries columnar contexts across
+    batch evaluations; ``stats`` counts how many views each path computed.
     """
     conn_attributes = sorted(node.connection_attributes())
     conn_positions = [relation.schema.index_of(attribute) for attribute in conn_attributes]
 
     results: Dict[ViewSignature, View] = {}
 
-    if specialize:
-        context: Optional[_NodeContext] = None
-        fallback: List[ViewSignature] = []
-        for signature in signatures:
-            if signature in results and share_scans:
-                continue
-            if context is None or not share_scans:
-                context = _NodeContext(node, relation, conn_attributes)
-            view = _evaluate_vectorized(
-                context, node, relation, signature, designation, child_views
-            )
-            if view is None:
-                fallback.append(signature)
-            else:
-                results[signature] = view
-        remaining = fallback
+    def tick(key: str, amount: int = 1) -> None:
+        if stats is not None:
+            stats[key] = stats.get(key, 0) + amount
+
+    if specialize and columnar:
+        remaining = []
+        if share_scans:
+            distinct: List[ViewSignature] = []
+            seen = set()
+            for signature in signatures:
+                if signature not in seen:
+                    seen.add(signature)
+                    distinct.append(signature)
+            context = _context_for(node, relation, conn_attributes, context_cache)
+            child_tables: Dict[Tuple[str, ViewSignature], _ChildTable] = {}
+            for family in _build_families(
+                node, distinct, designation, context.restrict_cache
+            ):
+                computed, fallback = _evaluate_family(
+                    context, node, family, designation, child_views, child_tables
+                )
+                results.update(computed)
+                remaining.extend(fallback)
+                tick(STAT_COLUMNAR, len(computed))
+                tick(STAT_TUPLE_FALLBACK, len(fallback))
+        else:
+            # No sharing: every signature re-encodes the relation and runs its
+            # own single-view pipeline, so the ablation measures what scan
+            # sharing actually buys.
+            for signature in signatures:
+                context = ColumnarContext(
+                    node, relation, conn_attributes, store=ColumnStore(relation)
+                )
+                (family,) = _build_families(node, [signature], designation)
+                computed, fallback = _evaluate_family(
+                    context, node, family, designation, child_views, {}
+                )
+                if fallback:
+                    remaining.extend(fallback)
+                    tick(STAT_TUPLE_FALLBACK)
+                else:
+                    results[signature] = computed[signature]
+                    tick(STAT_COLUMNAR)
+    elif specialize:
+        remaining = list(signatures)
+        tick(STAT_TUPLE_SPECIALIZED, len(remaining))
     else:
         remaining = list(signatures)
+        tick(STAT_INTERPRETED, len(remaining))
 
     if remaining:
         tasks = [

@@ -17,14 +17,16 @@ the AC/DC baseline (plain aggregate pushdown, one aggregate at a time).
 
 from __future__ import annotations
 
+import os
 import time
+import weakref
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.aggregates.spec import Aggregate, AggregateBatch
 from repro.data.database import Database
-from repro.engine.executor import View, compute_node_views
+from repro.engine.executor import ColumnarContext, ColumnarView, View, compute_node_views
 from repro.engine.plan import BatchPlan, ViewSignature, plan_batch
 from repro.engine.naive import evaluate_aggregate_over_rows
 from repro.query.conjunctive import ConjunctiveQuery
@@ -37,11 +39,18 @@ AggregateValue = Union[float, Dict[Tuple, float]]
 class EngineOptions:
     """Optimisation switches of the engine (the knobs ablated in Figure 6)."""
 
-    specialize: bool = True     # position-resolved tuple access vs per-row dict interpretation
+    specialize: bool = True     # compiled (columnar or tuple) access vs per-row dict interpretation
+    columnar: bool = True       # with specialize: vectorise over the dictionary-encoded column store
     share: bool = True          # share views across aggregates and scans across views
     parallel: bool = False      # evaluate independent join-tree nodes concurrently
-    workers: int = 4
+    workers: Optional[int] = None   # None: derived from os.cpu_count()
     root_relation: Optional[str] = None
+
+    def resolved_workers(self) -> int:
+        """The thread-pool size: explicit ``workers`` or a cpu-count default."""
+        if self.workers:
+            return self.workers
+        return max(2, min(16, os.cpu_count() or 2))
 
     @staticmethod
     def baseline() -> "EngineOptions":
@@ -58,6 +67,9 @@ class BatchResult:
     plan_summary: Dict[str, float] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
     views_computed: int = 0
+    #: How many views each executor path computed (see executor.STAT_* keys);
+    #: lets callers assert that e.g. no view fell off the vectorised path.
+    executor_stats: Dict[str, int] = field(default_factory=dict)
 
     def __getitem__(self, name: str) -> AggregateValue:
         return self.values[name]
@@ -97,6 +109,13 @@ class LMFAOEngine:
         self.query = query
         self.options = options or EngineOptions()
         self.join_tree = self._build_join_tree()
+        # Columnar contexts survive across evaluate() calls: repeated batch
+        # evaluations (gradient descent, decision-tree splits, IVM refreshes)
+        # reuse the dictionary encodings.  Entries auto-refresh when the
+        # underlying relation's version changes.
+        self._context_cache: Dict[Tuple, ColumnarContext] = {}
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_finalizer: Optional[weakref.finalize] = None
 
     # -- construction ---------------------------------------------------------------------
 
@@ -121,11 +140,38 @@ class LMFAOEngine:
     def plan(self, batch: AggregateBatch) -> BatchPlan:
         return plan_batch(batch, self.join_tree, share_views=self.options.share)
 
+    def close(self) -> None:
+        """Release the worker pool and cached columnar contexts."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            if self._pool_finalizer is not None:
+                self._pool_finalizer.detach()
+                self._pool_finalizer = None
+        self._context_cache.clear()
+
+    def __enter__(self) -> "LMFAOEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.options.resolved_workers())
+            # Reclaim the idle worker threads when the engine is collected,
+            # even if the caller never invokes close().
+            self._pool_finalizer = weakref.finalize(
+                self, self._pool.shutdown, wait=False
+            )
+        return self._pool
+
     def evaluate(self, batch: AggregateBatch) -> BatchResult:
         """Evaluate all aggregates of ``batch`` and return their values."""
         started = time.perf_counter()
         plan = self.plan(batch)
-        views = self._evaluate_views(plan)
+        stats: Dict[str, int] = {}
+        views = self._evaluate_views(plan, stats)
 
         values: Dict[str, AggregateValue] = {}
         root_name = self.join_tree.root.relation_name
@@ -144,6 +190,7 @@ class LMFAOEngine:
             plan_summary=plan.summary(),
             elapsed_seconds=elapsed,
             views_computed=plan.total_views,
+            executor_stats=stats,
         )
 
     # -- internals ---------------------------------------------------------------------------
@@ -159,14 +206,16 @@ class LMFAOEngine:
         return f"{name}#{suffix}"
 
     def _evaluate_views(
-        self, plan: BatchPlan
+        self, plan: BatchPlan, stats: Optional[Dict[str, int]] = None
     ) -> Dict[Tuple[str, ViewSignature], View]:
         """Evaluate all planned views bottom-up over the join tree."""
         views: Dict[Tuple[str, ViewSignature], View] = {}
         levels = self._nodes_by_depth()
         share = self.options.share
 
-        def run_node(node: JoinTreeNode) -> Dict[ViewSignature, View]:
+        def run_node(
+            node: JoinTreeNode, node_stats: Optional[Dict[str, int]]
+        ) -> Dict[ViewSignature, View]:
             signatures = plan.views_per_node[node.relation_name]
             # Deduplicate for the result dictionary but keep the full list when
             # sharing is off so the (redundant) work is actually performed.
@@ -178,20 +227,37 @@ class LMFAOEngine:
                 views,
                 specialize=self.options.specialize,
                 share_scans=share,
+                columnar=self.options.columnar,
+                context_cache=self._context_cache if share else None,
+                stats=node_stats,
             )
+
+        def merge_stats(node_stats: Dict[str, int]) -> None:
+            if stats is not None:
+                for key, count in node_stats.items():
+                    stats[key] = stats.get(key, 0) + count
 
         for depth in sorted(levels, reverse=True):
             nodes = levels[depth]
             if self.options.parallel and len(nodes) > 1:
-                with ThreadPoolExecutor(max_workers=self.options.workers) as pool:
-                    futures = {pool.submit(run_node, node): node for node in nodes}
-                    for future, node in futures.items():
-                        for signature, view in future.result().items():
-                            views[(node.relation_name, signature)] = view
+                # One pool for the whole engine lifetime: constructing and
+                # tearing down an executor per tree level costs more than the
+                # per-level work it parallelises.
+                pool = self._ensure_pool()
+                futures = []
+                for node in nodes:
+                    per_node: Dict[str, int] = {}
+                    futures.append((pool.submit(run_node, node, per_node), node, per_node))
+                for future, node, node_stats in futures:
+                    for signature, view in future.result().items():
+                        views[(node.relation_name, signature)] = view
+                    merge_stats(node_stats)
             else:
                 for node in nodes:
-                    for signature, view in run_node(node).items():
+                    node_stats: Dict[str, int] = {}
+                    for signature, view in run_node(node, node_stats).items():
                         views[(node.relation_name, signature)] = view
+                    merge_stats(node_stats)
         return views
 
     def _nodes_by_depth(self) -> Dict[int, List[JoinTreeNode]]:
@@ -208,11 +274,40 @@ class LMFAOEngine:
     @staticmethod
     def _extract(aggregate: Aggregate, root_view: View) -> AggregateValue:
         """Turn the root view into the aggregate's scalar or grouped value."""
-        groups = root_view.get((), {})
+        items = None
+        attrs = None
+        if isinstance(root_view, ColumnarView):
+            # Read the arrays directly; materialising the nested dict shape
+            # for a view that is only unpacked here would be wasted work.
+            items = root_view.group_items()
+            if items is not None:
+                # group_attrs describes the raw (concatenation-order) pairs of
+                # group_items; the materialised dict below re-sorts its keys,
+                # so the positional fast path only applies to the former.
+                attrs = root_view.group_attrs
+        if items is None:
+            items = root_view.get((), {}).items()
         if not aggregate.group_by:
-            return groups.get((), 0.0)
+            for group_pairs, value in items:
+                if group_pairs == ():
+                    return value
+            return 0.0
         result: Dict[Tuple, float] = {}
-        for group_pairs, value in groups.items():
+        if attrs is not None and all(a in attrs for a in aggregate.group_by):
+            # Every group key shares one attribute sequence: pick values by
+            # position instead of rebuilding an assignment dict per entry.
+            positions = [attrs.index(a) for a in aggregate.group_by]
+            if len(positions) == 1:
+                position = positions[0]
+                for group_pairs, value in items:
+                    key = (group_pairs[position][1],)
+                    result[key] = result.get(key, 0.0) + value
+            else:
+                for group_pairs, value in items:
+                    key = tuple(group_pairs[p][1] for p in positions)
+                    result[key] = result.get(key, 0.0) + value
+            return result
+        for group_pairs, value in items:
             assignment = dict(group_pairs)
             key = tuple(assignment[attribute] for attribute in aggregate.group_by)
             result[key] = result.get(key, 0.0) + value

@@ -31,6 +31,15 @@ class ViewSignature:
     group_by: Tuple[str, ...]                   # sorted group-by attributes in the subtree
     filters: Tuple[Filter, ...]                 # filters on attributes in the subtree, sorted
 
+    def __hash__(self) -> int:
+        # Signatures are hashed constantly (sharing, families, view maps);
+        # caching beats re-hashing the nested field tuples every time.
+        value = self.__dict__.get("_hash")
+        if value is None:
+            value = hash((self.relation_name, self.product, self.group_by, self.filters))
+            object.__setattr__(self, "_hash", value)
+        return value
+
     def is_count_only(self) -> bool:
         """True when the view degenerates to a per-key COUNT."""
         return not self.product and not self.group_by and not self.filters
@@ -115,9 +124,11 @@ def _signature_for_subtree(
     aggregate: Aggregate,
     node: JoinTreeNode,
     designation: Mapping[str, str],
+    subtree_relations: Optional[FrozenSet[str]] = None,
 ) -> ViewSignature:
     """The restriction of ``aggregate`` to the nodes of ``node``'s subtree."""
-    subtree_relations = {child.relation_name for child in node.subtree_nodes()}
+    if subtree_relations is None:
+        subtree_relations = frozenset(child.relation_name for child in node.subtree_nodes())
 
     product_counts: Dict[str, int] = {}
     for attribute, exponent in aggregate.product_multiplicities().items():
@@ -152,10 +163,16 @@ def decompose_aggregate(
     aggregate: Aggregate,
     join_tree: JoinTree,
     designation: Mapping[str, str],
+    subtree_relations: Optional[Mapping[str, FrozenSet[str]]] = None,
 ) -> AggregateDecomposition:
     """Decompose one aggregate into its per-node view signatures."""
     signatures = {
-        node.relation_name: _signature_for_subtree(aggregate, node, designation)
+        node.relation_name: _signature_for_subtree(
+            aggregate,
+            node,
+            designation,
+            subtree_relations.get(node.relation_name) if subtree_relations else None,
+        )
         for node in join_tree.nodes()
     }
     return AggregateDecomposition(
@@ -179,8 +196,14 @@ def plan_batch(
     past joins and are reported in ``unsupported`` so the engine can fall back
     to evaluation over the join for them.
     """
-    known_attributes = join_tree.attributes()
+    known_attributes = set(join_tree.attributes())
     designation = designate_attributes(join_tree)
+    subtree_relations = {
+        node.relation_name: frozenset(
+            child.relation_name for child in node.subtree_nodes()
+        )
+        for node in join_tree.nodes()
+    }
     decompositions: List[AggregateDecomposition] = []
     unsupported: List[Aggregate] = []
 
@@ -196,19 +219,23 @@ def plan_batch(
                 f"aggregate {aggregate.name!r} references attributes {missing} "
                 "that do not occur in the query"
             )
-        decompositions.append(decompose_aggregate(aggregate, join_tree, designation))
+        decompositions.append(
+            decompose_aggregate(aggregate, join_tree, designation, subtree_relations)
+        )
 
     views_per_node: Dict[str, List[ViewSignature]] = {
         node.relation_name: [] for node in join_tree.nodes()
     }
+    seen_per_node: Dict[str, set] = {name: set() for name in views_per_node}
     for decomposition in decompositions:
         for relation_name, signature in decomposition.signatures.items():
-            existing = views_per_node[relation_name]
             if share_views:
-                if signature not in existing:
-                    existing.append(signature)
+                seen = seen_per_node[relation_name]
+                if signature not in seen:
+                    seen.add(signature)
+                    views_per_node[relation_name].append(signature)
             else:
-                existing.append(signature)
+                views_per_node[relation_name].append(signature)
 
     return BatchPlan(
         join_tree=join_tree,

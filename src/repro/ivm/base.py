@@ -138,7 +138,13 @@ class CovarianceMaintainer(abc.ABC):
     # -- update protocol -----------------------------------------------------------------
 
     def apply(self, update: Update) -> None:
-        """Apply one signed tuple update."""
+        """Apply one signed tuple update.
+
+        ``Relation.add`` bumps the relation's mutation counter, which also
+        invalidates any cached column store (see ``Relation.column_store``) —
+        engines holding columnar contexts over the maintained database
+        re-encode lazily on their next evaluation.
+        """
         self._apply_update(update)
         self.database.relation(update.relation_name).add(update.row, update.multiplicity)
 
@@ -160,14 +166,30 @@ class CovarianceMaintainer(abc.ABC):
     # -- reference -------------------------------------------------------------------------
 
     def recompute_statistics(self) -> CovariancePayload:
-        """Recompute the statistics from scratch (used by tests as ground truth)."""
+        """Recompute the statistics from scratch (used by tests as ground truth).
+
+        The join result is read through its dictionary-encoded column store:
+        count, sums and the quadratic form are three matrix expressions over
+        the feature columns instead of a Python loop over tuples.
+        """
         joined = self.query.evaluate(self.database)
+        store = joined.column_store()
+        columns = [store.float_column(feature) for feature in self.features]
+        if store.row_count and all(column is not None for column in columns):
+            weights = store.multiplicities
+            if columns:
+                data = np.stack(columns, axis=1)          # (rows, features)
+                weighted = data * weights[:, None]
+                return CovariancePayload(
+                    float(weights.sum()), weighted.sum(axis=0), data.T @ weighted
+                )
+            return CovariancePayload(float(weights.sum()),
+                                     np.zeros(0), np.zeros((0, 0)))
         names = joined.schema.names
+        positions = [names.index(feature) for feature in self.features]
         total = self.ring.zero()
         for row, multiplicity in joined.items():
-            vector = np.array(
-                [float(row[names.index(feature)]) for feature in self.features]
-            )
+            vector = np.array([float(row[position]) for position in positions])
             payload = CovariancePayload(1.0, vector.copy(), np.outer(vector, vector))
             total = self.ring.add(total, self.ring.scale(payload, multiplicity))
         return total

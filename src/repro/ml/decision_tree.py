@@ -50,7 +50,11 @@ class TreeNode:
         def visit(node: "TreeNode", indent: int) -> None:
             prefix = "  " * indent
             if node.is_leaf:
-                lines.append(f"{prefix}predict {node.prediction:.4g} (n={node.count:.0f})")
+                if isinstance(node.prediction, (int, float)):
+                    prediction = f"{node.prediction:.4g}"
+                else:
+                    prediction = repr(node.prediction)  # classification labels
+                lines.append(f"{prefix}predict {prediction} (n={node.count:.0f})")
             else:
                 lines.append(f"{prefix}if {node.condition_string()}:")
                 visit(node.left, indent + 1)  # type: ignore[arg-type]

@@ -105,3 +105,87 @@ def test_to_table_renders_multiplicity(people):
     table = people.to_table()
     assert "name | age" in table
     assert "(x2)" in table
+
+
+# -- columnar store: versioning, caching, encodings -----------------------------------------
+
+
+def test_version_bumps_on_mutation(people):
+    version = people.version
+    people.add(("zed", 25))
+    assert people.version > version
+    version = people.version
+    people.remove(("zed", 25))
+    assert people.version > version
+    version = people.version
+    people.clear()
+    assert people.version > version
+
+
+def test_column_store_is_cached_and_invalidated(people):
+    store = people.column_store()
+    assert people.column_store() is store          # cached while unchanged
+    people.add(("zed", 25))
+    fresh = people.column_store()
+    assert fresh is not store                      # mutation invalidates
+    assert fresh.row_count == len(people)
+
+
+def test_column_store_codes_round_trip():
+    from repro.data import Relation, Schema
+
+    relation = Relation(
+        "R",
+        Schema.from_names(["k", "v"], ["k"]),
+        multiplicities={("a", 1): 2, ("b", 1): 1, ("a", 3): -1},
+    )
+    store = relation.column_store()
+    codes, keys = store.codes_for(("k", "v"))
+    assert len(codes) == len(relation)
+    decoded = {keys[code] for code in codes.tolist()}
+    assert decoded == set(relation.rows())
+    # Multiplicities align with the row order used by the encodings.
+    assert sorted(store.multiplicities.tolist()) == [-1.0, 1.0, 2.0]
+
+
+def test_column_store_float_column_and_fallback():
+    from repro.data import Relation, Schema
+
+    relation = Relation(
+        "R",
+        Schema.from_names(["k", "v"], ["k"]),
+        rows=[("a", 1), ("b", 2.5)],
+    )
+    store = relation.column_store()
+    values = store.float_column("v")
+    assert values is not None and sorted(values.tolist()) == [1.0, 2.5]
+    assert store.float_column("k") is None         # strings are not numeric
+
+
+def test_column_store_mixed_type_column_uses_fallback_encoding():
+    from repro.data import Relation, Schema
+
+    relation = Relation(
+        "R",
+        Schema.from_names(["k"]),
+        rows=[("a",), (3,), ("b",)],
+    )
+    store = relation.column_store()
+    encoding = store.encoding("k")
+    assert sorted(map(str, encoding.values)) == ["3", "a", "b"]
+    assert len(encoding.codes) == 3
+    # Mixed python types cannot form a typed, sortable dictionary.
+    assert encoding.sortable_values() is None
+
+
+def test_combine_codes_matches_stacked_unique():
+    import numpy as np
+
+    from repro.data.colstore import combine_codes
+
+    left = np.asarray([0, 1, 0, 2, 1], dtype=np.int64)
+    right = np.asarray([1, 1, 1, 0, 2], dtype=np.int64)
+    codes, combos = combine_codes([left, right], [3, 3])
+    assert codes.shape == (5,)
+    rebuilt = {(int(combos[c, 0]), int(combos[c, 1])) for c in codes.tolist()}
+    assert rebuilt == {(0, 1), (1, 1), (2, 0), (1, 2)}

@@ -1,0 +1,417 @@
+"""Equivalence of the three executor paths on randomized acyclic queries.
+
+The engine has three code paths — interpreted (per-row dictionaries),
+tuple-specialized (position-resolved scan) and columnar (vectorised over the
+dictionary-encoded column store).  They must be *indistinguishable* on any
+query the planner accepts: same views, same group keys (including groups
+whose contributions cancel to exactly 0.0), same values.
+
+The random databases use signed multiplicities, so cancellation, empty join
+branches, grouped multi-entry child views and filtered children all occur.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.aggregates import Aggregate, AggregateBatch, Filter, FilterOp
+from repro.data import Database, Relation, Schema
+from repro.engine import EngineOptions, LMFAOEngine, MaterializedJoinEngine
+from repro.engine.executor import (
+    STAT_COLUMNAR,
+    STAT_INTERPRETED,
+    STAT_TUPLE_FALLBACK,
+    STAT_TUPLE_SPECIALIZED,
+)
+
+PATHS = {
+    "interpreted": EngineOptions(specialize=False, share=True),
+    "tuple": EngineOptions(specialize=True, columnar=False, share=True),
+    "columnar": EngineOptions(specialize=True, columnar=True, share=True),
+}
+
+
+def _random_database(rng: random.Random) -> Database:
+    """A star-plus-chain schema: F(a,b,m) - D1(a,x,c) - E(c,z), F - D2(b,y)."""
+
+    def rows(count, maker):
+        out = {}
+        for _ in range(count):
+            row = maker()
+            out[row] = out.get(row, 0) + rng.choice([-2, -1, 1, 1, 2, 3])
+        return {row: mult for row, mult in out.items() if mult != 0}
+
+    key = lambda: rng.randint(0, 3)               # noqa: E731
+    val = lambda: rng.randint(-4, 4)              # noqa: E731
+    fact = rows(rng.randint(0, 14), lambda: (key(), key(), val()))
+    dim1 = rows(rng.randint(0, 8), lambda: (key(), val(), key()))
+    dim2 = rows(rng.randint(0, 6), lambda: (key(), val()))
+    leaf = rows(rng.randint(0, 6), lambda: (key(), val()))
+    return Database(
+        [
+            Relation("F", Schema.from_names(["a", "b", "m"], ["a", "b"]),
+                     multiplicities=fact),
+            Relation("D1", Schema.from_names(["a", "x", "c"], ["a", "c"]),
+                     multiplicities=dim1),
+            Relation("D2", Schema.from_names(["b", "y"], ["b"]),
+                     multiplicities=dim2),
+            Relation("E", Schema.from_names(["c", "z"], ["c"]),
+                     multiplicities=leaf),
+        ]
+    )
+
+
+def _batch() -> AggregateBatch:
+    return AggregateBatch(
+        "equivalence",
+        [
+            Aggregate.count(name="count"),
+            Aggregate.sum_of(["m"], name="sum_m"),
+            Aggregate.sum_of(["m", "x"], name="sum_mx"),
+            Aggregate.sum_of(["x", "z"], name="sum_xz"),
+            Aggregate.sum_of(["y", "z"], name="sum_yz"),
+            Aggregate.count(group_by=["a"], name="count_a"),
+            # group-by on a child attribute: the child view is grouped and
+            # multi-entry, which the pre-columnar fast path could not join.
+            Aggregate.sum_of(["m"], group_by=["x"], name="sum_m_by_x"),
+            Aggregate.sum_of(["z"], group_by=["x", "b"], name="sum_z_by_xb"),
+            Aggregate.sum_of(["m"], filters=[Filter("x", FilterOp.GE, 0)], name="sum_m_xpos"),
+            Aggregate.count(
+                group_by=["y"], filters=[Filter("z", FilterOp.LE, 2)], name="count_y_zsmall"
+            ),
+            Aggregate.sum_of(["m", "y"], group_by=["c"], name="sum_my_by_c"),
+        ],
+    )
+
+
+def _exact_equal(left, right):
+    if isinstance(left, dict) or isinstance(right, dict):
+        assert isinstance(left, dict) and isinstance(right, dict)
+        assert set(left) == set(right)
+        return all(
+            math.isclose(left[key], right[key], rel_tol=1e-9, abs_tol=1e-9) for key in left
+        )
+    return math.isclose(left, right, rel_tol=1e-9, abs_tol=1e-9)
+
+
+def _tolerant_equal(left, right):
+    """Union-keyed comparison (the naive engine may drop exact-zero groups)."""
+    if isinstance(left, dict) or isinstance(right, dict):
+        left = left if isinstance(left, dict) else {}
+        right = right if isinstance(right, dict) else {}
+        return all(
+            math.isclose(left.get(key, 0.0), right.get(key, 0.0), rel_tol=1e-9, abs_tol=1e-9)
+            for key in set(left) | set(right)
+        )
+    return math.isclose(left, right, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_all_executor_paths_identical_on_random_queries(seed):
+    from repro.query import ConjunctiveQuery
+
+    rng = random.Random(seed)
+    database = _random_database(rng)
+    query = ConjunctiveQuery(["F", "D1", "D2", "E"])
+    batch = _batch()
+
+    results = {}
+    stats = {}
+    for name, options in PATHS.items():
+        outcome = LMFAOEngine(database, query, options).evaluate(batch)
+        results[name] = outcome.values
+        stats[name] = outcome.executor_stats
+
+    # The three paths agree exactly: same keys (zero-sum groups included).
+    for name in ("tuple", "columnar"):
+        for aggregate_name, value in results["interpreted"].items():
+            assert _exact_equal(value, results[name][aggregate_name]), (
+                seed, name, aggregate_name,
+            )
+
+    # Each path actually ran, and nothing fell off the columnar fast path.
+    assert stats["interpreted"].get(STAT_INTERPRETED, 0) > 0
+    assert stats["tuple"].get(STAT_TUPLE_SPECIALIZED, 0) > 0
+    assert stats["columnar"].get(STAT_COLUMNAR, 0) > 0
+    assert stats["columnar"].get(STAT_TUPLE_FALLBACK, 0) == 0
+
+    # And all of them agree with the materialised-join baseline.
+    naive = MaterializedJoinEngine(database, query).evaluate(batch)
+    for aggregate_name, value in results["columnar"].items():
+        assert _tolerant_equal(value, naive.values[aggregate_name]), (seed, aggregate_name)
+
+
+def test_cancelling_multiplicities_keep_zero_groups_on_every_path():
+    """Groups whose contributions cancel to exactly 0.0 stay in the result.
+
+    Regression test: the pre-columnar vectorised path dropped groups whose
+    sum was exactly zero while the tuple scan kept them, so the two paths
+    returned different group-key sets.
+    """
+    from repro.query import ConjunctiveQuery
+
+    database = Database(
+        [
+            Relation(
+                "F",
+                Schema.from_names(["k", "m"], ["k"]),
+                multiplicities={(1, 2): 1, (1, 3): -1, (2, 5): 2},
+            ),
+            Relation(
+                "D",
+                Schema.from_names(["k", "x"], ["k"]),
+                multiplicities={(1, 7): 1, (2, 9): 1},
+            ),
+        ]
+    )
+    query = ConjunctiveQuery(["F", "D"])
+    batch = AggregateBatch(
+        "zeros",
+        [
+            Aggregate.count(group_by=["k"], name="count_k"),
+            Aggregate.sum_of(["m"], group_by=["k"], name="sum_m_k"),
+        ],
+    )
+    for name, options in PATHS.items():
+        result = LMFAOEngine(database, query, options).evaluate(batch)
+        count_k = result.grouped("count_k")
+        # Group k=1 has multiplicities +1 and -1: the count cancels to 0.0
+        # but the group must remain visible on every path.
+        assert count_k[(1,)] == pytest.approx(0.0), name
+        assert count_k[(2,)] == pytest.approx(2.0), name
+        sum_m_k = result.grouped("sum_m_k")
+        assert sum_m_k[(1,)] == pytest.approx(2.0 - 3.0), name
+        # F carries (2, 5) with multiplicity 2 and D matches once: 5 * 2.
+        assert sum_m_k[(2,)] == pytest.approx(10.0), name
+
+
+def test_columnar_handles_grouped_multi_child_views_without_fallback():
+    """Grouped multi-entry child views stay on the vectorised path."""
+    from repro.query import ConjunctiveQuery
+
+    rng = random.Random(7)
+    database = _random_database(rng)
+    query = ConjunctiveQuery(["F", "D1", "D2", "E"])
+    batch = AggregateBatch(
+        "grouped-children",
+        [
+            Aggregate.sum_of(["m"], group_by=["x"], name="sum_m_by_x"),
+            Aggregate.sum_of(["m"], group_by=["x", "y", "z"], name="sum_m_by_xyz"),
+        ],
+    )
+    outcome = LMFAOEngine(database, query).evaluate(batch)
+    assert outcome.executor_stats.get(STAT_TUPLE_FALLBACK, 0) == 0
+    assert outcome.executor_stats.get(STAT_COLUMNAR, 0) > 0
+    naive = MaterializedJoinEngine(database, query).evaluate(batch)
+    for name, value in outcome.values.items():
+        assert _tolerant_equal(value, naive.values[name]), name
+
+
+def test_big_integer_join_keys_stay_exact():
+    """Join keys beyond 2**53 must not collapse in the vectorised matcher.
+
+    Regression test: decoding integer dictionaries to float64 for the
+    searchsorted key matching equated 2**53 with 2**53 + 1, joining rows
+    that do not match.
+    """
+    from repro.query import ConjunctiveQuery
+
+    big = 2 ** 53
+    database = Database(
+        [
+            Relation(
+                "F",
+                Schema.from_names(["k", "m"], ["k"]),
+                multiplicities={(big, 10): 1, (big + 1, 200): 1},
+            ),
+            Relation(
+                "D",
+                Schema.from_names(["k", "x"], ["k"]),
+                multiplicities={(big, 2): 1},
+            ),
+        ]
+    )
+    query = ConjunctiveQuery(["F", "D"])
+    batch = AggregateBatch(
+        "big-keys",
+        [
+            Aggregate.sum_of(["m"], name="sum_m"),
+            Aggregate.sum_of(["m"], filters=[Filter("k", FilterOp.EQ, big + 1)], name="sum_m_k1"),
+        ],
+    )
+    for name, options in PATHS.items():
+        result = LMFAOEngine(database, query, options).evaluate(batch)
+        # Only the (big, 10) row joins; the (big + 1, 200) row has no match.
+        assert result.scalar("sum_m") == pytest.approx(10.0), name
+        assert result.scalar("sum_m_k1") == pytest.approx(0.0), name
+
+
+def test_cross_map_cache_does_not_grow_across_child_mutations():
+    """One cross-store key mapping per (attrs, child), replaced on mutation."""
+    from repro.query import ConjunctiveQuery
+
+    database = Database(
+        [
+            Relation("F", Schema.from_names(["k", "m"], ["k"]), rows=[(1, 2), (2, 3)]),
+            Relation("D", Schema.from_names(["k", "x"], ["k"]), rows=[(1, 7), (2, 9)]),
+        ]
+    )
+    query = ConjunctiveQuery(["F", "D"])
+    batch = AggregateBatch("m", [Aggregate.sum_of(["m", "x"], group_by=["x"], name="mx")])
+    engine = LMFAOEngine(database, query)
+    engine.evaluate(batch)
+    sizes = set()
+    for step in range(4):
+        database["D"].add((1, 100 + step))
+        engine.evaluate(batch)
+        sizes.update(
+            len(context._cross_maps) for context in engine._context_cache.values()
+        )
+    assert max(sizes) <= 1, sizes
+
+
+def test_int_float_key_domains_do_not_collapse_big_integers():
+    """Integer keys joined against a float dictionary keep Python equality.
+
+    Regression test: mixing an int64 and a float64 key dictionary into one
+    float64 searchsorted domain equated 2**53 + 1 with 2.0**53, joining a
+    row that Python equality keeps apart.
+    """
+    from repro.query import ConjunctiveQuery
+
+    big = 2 ** 53
+    database = Database(
+        [
+            Relation(
+                "F",
+                Schema.from_names(["k", "m"], ["k"]),
+                multiplicities={(big, 1): 1, (big + 1, 1): 1},
+            ),
+            Relation(
+                "D",
+                Schema.from_names(["k", "x"], ["k"]),
+                multiplicities={(float(big), 2.0): 1},   # float-typed key column
+            ),
+        ]
+    )
+    query = ConjunctiveQuery(["F", "D"])
+    batch = AggregateBatch("mixed-kinds", [Aggregate.count(name="count")])
+    for name, options in PATHS.items():
+        result = LMFAOEngine(database, query, options).evaluate(batch)
+        # Only big == float(big) joins; big + 1 != 2.0**53 under Python equality.
+        assert result.scalar("count") == pytest.approx(1.0), name
+
+
+def test_columnar_views_compare_equal_before_materialisation():
+    """View equality must not read a lazy view's raw backing storage."""
+    from repro.engine.plan import decompose_aggregate, designate_attributes
+    from repro.engine.executor import ColumnarView, compute_node_views
+    from repro.query import ConjunctiveQuery, build_join_tree
+
+    database = Database(
+        [
+            Relation("F", Schema.from_names(["k", "m"], ["k"]), rows=[(1, 2), (2, 3)]),
+            Relation("D", Schema.from_names(["k", "x"], ["k"]), rows=[(1, 7), (2, 9)]),
+        ]
+    )
+    query = ConjunctiveQuery(["F", "D"])
+    tree = build_join_tree(query.hypergraph(database), root="F")
+    designation = designate_attributes(tree)
+    aggregate = Aggregate.sum_of(["x"], group_by=["k"], name="x_by_k")
+    decomposition = decompose_aggregate(aggregate, tree, designation)
+    leaf = tree.node("D")
+    signature = decomposition.signature_at("D")
+
+    def fresh_view():
+        return compute_node_views(
+            leaf, database["D"], [signature], designation, {}, specialize=True
+        )[signature]
+
+    left, right = fresh_view(), fresh_view()
+    assert isinstance(left, ColumnarView) and isinstance(right, ColumnarView)
+    assert left == right                      # neither side materialised yet
+    assert not (fresh_view() != fresh_view())
+
+
+def test_filtered_out_nonfinite_rows_do_not_poison_sums():
+    """A filtered-out inf row must not turn the signature's sums into NaN."""
+    from repro.query import ConjunctiveQuery
+
+    database = Database(
+        [
+            Relation(
+                "F",
+                Schema.from_names(["k", "m"], ["k"]),
+                multiplicities={(1, 2.0): 1, (1, float("inf")): 1},
+            ),
+            Relation("D", Schema.from_names(["k", "x"], ["k"]), rows=[(1, 7)]),
+        ]
+    )
+    query = ConjunctiveQuery(["F", "D"])
+    batch = AggregateBatch(
+        "inf",
+        [Aggregate.sum_of(["m"], filters=[Filter("m", FilterOp.LE, 100)], name="sum_small")],
+    )
+    for name, options in PATHS.items():
+        result = LMFAOEngine(database, query, options).evaluate(batch)
+        assert result.scalar("sum_small") == pytest.approx(2.0), name
+
+
+def test_mixed_int_float_column_keeps_huge_ints_distinct():
+    """A column mixing floats with ints beyond 2**53 must not merge codes."""
+    from repro.query import ConjunctiveQuery
+
+    big = 2 ** 53
+    database = Database(
+        [
+            Relation(
+                "F",
+                Schema.from_names(["k", "m"], ["k"]),
+                multiplicities={(big + 1, 1): 1, (float(big), 1): 1},
+            ),
+            Relation(
+                "D",
+                Schema.from_names(["k", "x"], ["k"]),
+                multiplicities={(big + 1, 2): 1},
+            ),
+        ]
+    )
+    query = ConjunctiveQuery(["F", "D"])
+    batch = AggregateBatch("mixed-col", [Aggregate.count(name="count")])
+    for name, options in PATHS.items():
+        result = LMFAOEngine(database, query, options).evaluate(batch)
+        # Only the int key big + 1 matches D; float(big) is a different value.
+        assert result.scalar("count") == pytest.approx(1.0), name
+
+
+def test_extraction_is_stable_after_view_materialisation():
+    """Reading a root view as a mapping must not change extracted groups.
+
+    Regression test: the positional extraction fast path used the raw
+    concatenation-order attribute sequence even after the view's dict shape
+    (whose keys are attribute-sorted) had been materialised, returning the
+    wrong attribute's values.
+    """
+    from repro.engine import LMFAOEngine
+
+    rng = random.Random(3)
+    database = _random_database(rng)
+    from repro.query import ConjunctiveQuery
+
+    query = ConjunctiveQuery(["F", "D1", "D2", "E"])
+    batch = AggregateBatch(
+        "stable", [Aggregate.sum_of(["m"], group_by=["b", "x"], name="m_by_bx")]
+    )
+    fresh = LMFAOEngine(database, query).evaluate(batch).grouped("m_by_bx")
+
+    engine = LMFAOEngine(database, query)
+    plan = engine.plan(batch)
+    views = engine._evaluate_views(plan, {})
+    root_name = engine.join_tree.root.relation_name
+    root_view = views[(root_name, plan.decompositions[0].root_signature)]
+    len(root_view)                                  # materialise the dict shape
+    again = engine._extract(batch[0], root_view)
+    assert again == fresh
