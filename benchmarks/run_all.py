@@ -2,16 +2,23 @@
 
 Executes the core measurements of the ``bench_figure*`` scripts directly (no
 pytest harness) and records everything in one JSON file, so the performance
-trajectory of the engine is tracked from PR to PR::
+trajectory of the engine is tracked from PR to PR (the ``BENCH_PR<n>.json``
+convention — see ``docs/benchmarks.md``)::
 
-    PYTHONPATH=src python benchmarks/run_all.py --output BENCH_PR1.json
+    PYTHONPATH=src python benchmarks/run_all.py --pr 2 --output BENCH_PR2.json
 
 Per figure the file holds timings for every dataset/batch/configuration plus
 the engine options used.  For Figure 4 the file also carries the *seed*
 timings (measured from the repository's seed commit on the same machine with
-the same scales) and the resulting speedups — the headline number of the
-columnar-storage PR.  Pass ``--seed-repo <path>`` to a checkout of the seed
-commit to re-measure the reference instead of using the recorded values.
+the same scales) and the resulting speedups.  Pass ``--seed-repo <path>`` to
+a checkout of the seed commit to re-measure the reference instead of using
+the recorded values.
+
+Since PR 2 the file additionally records the cost-based rooting comparison
+(``rooting``: the cost-picked root vs the seed's widest-relation heuristic,
+plus an exhaustive per-root sweep) and the cross-evaluate view-cache figures
+(``view_cache``: cold vs warm evaluation of an identical batch, and the
+recovery cost after a single-tuple update).
 """
 
 from __future__ import annotations
@@ -145,6 +152,100 @@ def _figure6_timings(scales, rounds: int):
     return figure
 
 
+def _rooting_timings(scales, rounds: int):
+    """Cost-based root choice vs the widest-relation heuristic, per dataset.
+
+    Records the roots both strategies pick, their best-of-``rounds`` cold
+    evaluation times for the covariance batch, and an exhaustive sweep over
+    every candidate root so the spread the optimizer navigates is visible.
+    """
+    figure = {}
+    for dataset, scale in scales.items():
+        database, query, spec = load_dataset(dataset, **scale)
+        batch = covariance_batch(spec.continuous_features, spec.categorical_features)
+
+        def best_seconds(options):
+            # One untimed warm-up so the lazy dictionary encodings (cached on
+            # the relations, shared by every engine over this database) do not
+            # bias whichever configuration happens to be measured first.
+            LMFAOEngine(database, query, options).evaluate(batch)
+            best = float("inf")
+            for _ in range(rounds):
+                engine = LMFAOEngine(database, query, options)
+                best = min(best, engine.evaluate(batch).elapsed_seconds)
+            return best
+
+        cost_engine = LMFAOEngine(database, query, EngineOptions(root_strategy="cost"))
+        widest_engine = LMFAOEngine(database, query, EngineOptions(root_strategy="widest"))
+        cost_root = cost_engine.join_tree.root.relation_name
+        widest_root = widest_engine.join_tree.root.relation_name
+        cost_seconds = best_seconds(EngineOptions(root_strategy="cost"))
+        widest_seconds = best_seconds(EngineOptions(root_strategy="widest"))
+        # The strategy picks were already timed above; only the remaining
+        # candidates need fresh measurements for the exhaustive sweep.
+        measured = {cost_root: cost_seconds, widest_root: widest_seconds}
+        sweep = {
+            root: round(
+                measured[root]
+                if root in measured
+                else best_seconds(EngineOptions(root_relation=root)),
+                6,
+            )
+            for root in query.relation_names
+        }
+        figure[dataset] = {
+            "cost_root": cost_root,
+            "widest_root": widest_root,
+            "cost_seconds": round(cost_seconds, 6),
+            "widest_seconds": round(widest_seconds, 6),
+            "speedup_vs_widest": round(widest_seconds / max(cost_seconds, 1e-12), 2),
+            "estimated_costs": {
+                name: round(value, 1)
+                for name, value in (cost_engine.root_choice.costs.items()
+                                    if cost_engine.root_choice else [])
+            },
+            "per_root_seconds": sweep,
+        }
+    return figure
+
+
+def _view_cache_timings(scales, rounds: int):
+    """Cold vs warm evaluation of an identical batch on one engine.
+
+    ``warm_seconds`` is a repeat of the same batch over unchanged relations
+    (all views served from the cross-evaluate view cache);
+    ``after_update_seconds`` follows a single-tuple update of the fact
+    relation, so only the mutated root path is recomputed.
+    """
+    figure = {}
+    for dataset, scale in scales.items():
+        database, query, spec = load_dataset(dataset, **scale)
+        batch = covariance_batch(spec.continuous_features, spec.categorical_features)
+        engine = LMFAOEngine(database, query)
+        cold = engine.evaluate(batch)
+        warm_best = float("inf")
+        warm_stats = {}
+        for _ in range(rounds):
+            warm = engine.evaluate(batch)
+            if warm.elapsed_seconds < warm_best:
+                warm_best = warm.elapsed_seconds
+                warm_stats = warm.executor_stats
+        fact = max(query.relation_names, key=lambda name: len(database.relation(name)))
+        sample_row = next(iter(database.relation(fact).items()))[0]
+        database.relation(fact).add(sample_row, 1)
+        after_update = engine.evaluate(batch)
+        figure[dataset] = {
+            "cold_seconds": round(cold.elapsed_seconds, 6),
+            "warm_seconds": round(warm_best, 6),
+            "warm_speedup": round(cold.elapsed_seconds / max(warm_best, 1e-12), 2),
+            "warm_views_cached": warm_stats.get("views_cached", 0),
+            "updated_relation": fact,
+            "after_update_seconds": round(after_update.elapsed_seconds, 6),
+            "after_update_views_cached": after_update.executor_stats.get("views_cached", 0),
+        }
+    return figure
+
+
 def _measure_seed(seed_repo: Path, scales, rounds: int):
     """Re-measure the seed reference from a checkout of the seed commit."""
     script = r"""
@@ -201,7 +302,10 @@ def main() -> None:
             raise argparse.ArgumentTypeError("must be >= 1")
         return value
 
-    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_PR1.json"))
+    parser.add_argument("--pr", type=positive_int, default=2,
+                        help="PR number recorded in the trajectory file")
+    parser.add_argument("--output", default=None,
+                        help="defaults to BENCH_PR<pr>.json in the repo root")
     parser.add_argument("--rounds", type=positive_int, default=3)
     parser.add_argument("--seed-repo", default=None,
                         help="checkout of the seed commit to re-measure the reference")
@@ -220,8 +324,8 @@ def main() -> None:
             )
 
     report = {
-        "pr": 1,
-        "description": "columnar dictionary-encoded storage + vectorised view evaluation",
+        "pr": arguments.pr,
+        "description": "cost-based join-tree rooting + cross-evaluate view cache",
         "machine": {
             "python": platform.python_version(),
             "platform": platform.platform(),
@@ -246,21 +350,42 @@ def main() -> None:
         BENCH_SCALES, arguments.rounds
     )
 
+    rooting_scales = BENCH_SCALES if arguments.skip_large else LARGE_SCALES
+    rooting_label = "bench" if arguments.skip_large else "large"
+    report["figures"][f"rooting_{rooting_label}"] = _rooting_timings(
+        rooting_scales, arguments.rounds
+    )
+    report["figures"][f"view_cache_{rooting_label}"] = _view_cache_timings(
+        rooting_scales, arguments.rounds
+    )
+
     large = report["figures"].get("figure4_batches_large", {})
     speedups = [
         entry.get("speedup_vs_seed")
         for batches in large.values()
         for entry in batches.values()
     ]
+    rooting = report["figures"][f"rooting_{rooting_label}"]
+    view_cache = report["figures"][f"view_cache_{rooting_label}"]
     report["headline"] = {
         "large_scale_speedups_vs_seed": {
             dataset: {name: entry.get("speedup_vs_seed") for name, entry in batches.items()}
             for dataset, batches in large.items()
         },
         "geometric_mean_speedup_vs_seed": _geomean(speedups),
+        "rooting_speedup_vs_widest": {
+            dataset: entry["speedup_vs_widest"] for dataset, entry in rooting.items()
+        },
+        "view_cache_warm_speedup": {
+            dataset: entry["warm_speedup"] for dataset, entry in view_cache.items()
+        },
     }
 
-    output = Path(arguments.output)
+    output = Path(
+        arguments.output
+        if arguments.output
+        else REPO_ROOT / f"BENCH_PR{arguments.pr}.json"
+    )
     output.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
     print(f"wrote {output}")
     if report["headline"]["geometric_mean_speedup_vs_seed"]:
@@ -268,6 +393,8 @@ def main() -> None:
             "geometric-mean large-scale speedup vs seed: "
             f'{report["headline"]["geometric_mean_speedup_vs_seed"]}x'
         )
+    print(f"rooting speedup vs widest: {report['headline']['rooting_speedup_vs_widest']}")
+    print(f"view-cache warm speedup: {report['headline']['view_cache_warm_speedup']}")
 
 
 if __name__ == "__main__":

@@ -283,6 +283,18 @@ class ColumnStore:
         codes, tuples, _columns = self._key_data(tuple(attributes))
         return codes, tuples
 
+    def distinct_count(self, attributes: Sequence[str]) -> int:
+        """Number of distinct value combinations of ``attributes``.
+
+        This is the size of the dictionary built by :meth:`codes_for` — the
+        statistic behind the engine's cost-based join-tree rooting (see
+        :mod:`repro.engine.statistics`): a child view keyed on these
+        attributes has exactly this many entries.  The underlying key data is
+        cached, so planners and the executor share one encoding.
+        """
+        _codes, tuples, _columns = self._key_data(tuple(attributes))
+        return len(tuples)
+
     def key_columns(self, attributes: Sequence[str]) -> Optional[List[np.ndarray]]:
         """Typed per-attribute value arrays aligned with ``codes_for``'s tuples.
 

@@ -11,6 +11,13 @@ groups without dependencies can be evaluated in parallel (Section 4).
 from repro.engine.plan import AggregateDecomposition, ViewSignature, plan_batch
 from repro.engine.lmfao import BatchResult, EngineOptions, LMFAOEngine
 from repro.engine.naive import MaterializedJoinEngine
+from repro.engine.statistics import (
+    RelationStatistics,
+    RootChoice,
+    choose_root,
+    collect_statistics,
+    estimate_root_costs,
+)
 
 __all__ = [
     "LMFAOEngine",
@@ -20,4 +27,9 @@ __all__ = [
     "ViewSignature",
     "AggregateDecomposition",
     "plan_batch",
+    "RelationStatistics",
+    "RootChoice",
+    "choose_root",
+    "collect_statistics",
+    "estimate_root_costs",
 ]

@@ -25,7 +25,9 @@ Three code paths implement the scan, from slowest to fastest:
 The columnar path handles every signature whose product attributes are
 numeric; only non-numeric products fall back to the specialised scan.  The
 per-path view counts are reported through the ``stats`` dictionary so callers
-(and benchmarks) can assert which path actually ran.
+(and benchmarks) can assert which path actually ran; views the engine served
+from its cross-evaluate cache never reach this module and are counted under
+:data:`STAT_CACHED` by the engine itself.
 """
 
 from __future__ import annotations
@@ -52,6 +54,9 @@ STAT_COLUMNAR = "views_columnar"
 STAT_TUPLE_FALLBACK = "views_tuple_fallback"
 STAT_TUPLE_SPECIALIZED = "views_tuple_specialized"
 STAT_INTERPRETED = "views_interpreted"
+#: Views served from the engine's cross-evaluate view cache (never computed
+#: here; the key exists so one stats dictionary covers all view outcomes).
+STAT_CACHED = "views_cached"
 
 
 def restrict_signature(

@@ -7,6 +7,14 @@ of an aggregate to the subtree rooted at a node â€” its :class:`ViewSignature` â
 determines the partial view computed at that node.  Aggregates with equal
 signatures at a node share the view; this is the cross-aggregate sharing that
 LMFAO exploits (Section 4, "Sharing computation").
+
+How much sharing the designation yields depends on where the join tree is
+rooted: an aggregate whose attributes all sit inside one subtree collapses to
+the count-only signature at every node outside it.  The rooting decision
+itself is made before planning, by the cost model of
+:mod:`repro.engine.statistics`; signatures double as the keys of the engine's
+cross-evaluate view cache, which is why they are immutable, hash-cached and
+independent of any particular batch object.
 """
 
 from __future__ import annotations

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.data.database import Database
 from repro.data.relation import Relation
+from repro.engine.statistics import choose_root
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.join_tree import JoinTree, JoinTreeNode, build_join_tree
 from repro.rings.covariance import CovariancePayload, CovarianceRing
@@ -66,7 +67,18 @@ class CovarianceMaintainer(abc.ABC):
         query: ConjunctiveQuery,
         features: Sequence[str],
         root_relation: Optional[str] = None,
+        root_strategy: str = "cost",
     ) -> None:
+        """Set up the maintained state.
+
+        ``root_relation`` forces the join-tree root.  Otherwise
+        ``root_strategy="cost"`` scores the candidates with the statistics of
+        ``schema_database`` (see :mod:`repro.engine.statistics`) — when the
+        schema database carries representative data this picks the root that
+        minimises view-tree work, and when it is empty the choice degrades to
+        the widest-relation heuristic that ``root_strategy="widest"`` forces
+        unconditionally (the seed behaviour).
+        """
         self.query = query
         self.features = tuple(features)
         self.ring = CovarianceRing(len(self.features))
@@ -74,10 +86,19 @@ class CovarianceMaintainer(abc.ABC):
         # streaming experiment of Figure 4 (right) starts from nothing.
         self.database = schema_database.empty_copy()
         hypergraph = query.hypergraph(schema_database)
-        root = root_relation or max(
-            query.relation_names,
-            key=lambda name: (schema_database.relation(name).arity, name),
-        )
+        if root_strategy not in ("cost", "widest"):
+            raise ValueError(
+                f"unknown root_strategy {root_strategy!r}; expected 'cost' or 'widest'"
+            )
+        root = root_relation
+        if root is None:
+            if root_strategy == "cost":
+                root = choose_root(schema_database, build_join_tree(hypergraph)).root
+            else:
+                root = max(
+                    query.relation_names,
+                    key=lambda name: (schema_database.relation(name).arity, name),
+                )
         self.join_tree: JoinTree = build_join_tree(hypergraph, root=root)
         self._designation = self._designate_features()
         self._feature_positions = {

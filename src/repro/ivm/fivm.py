@@ -30,8 +30,9 @@ class FIVM(CovarianceMaintainer):
         query: ConjunctiveQuery,
         features: Sequence[str],
         root_relation: Optional[str] = None,
+        root_strategy: str = "cost",
     ) -> None:
-        super().__init__(schema_database, query, features, root_relation)
+        super().__init__(schema_database, query, features, root_relation, root_strategy)
         # One payload view per node: join key -> covariance payload of the subtree.
         self._views: Dict[str, Dict[Tuple, CovariancePayload]] = {
             node.relation_name: {} for node in self.join_tree.nodes()

@@ -35,8 +35,9 @@ class HigherOrderIVM(CovarianceMaintainer):
         query: ConjunctiveQuery,
         features: Sequence[str],
         root_relation: Optional[str] = None,
+        root_strategy: str = "cost",
     ) -> None:
-        super().__init__(schema_database, query, features, root_relation)
+        super().__init__(schema_database, query, features, root_relation, root_strategy)
         self._joiner = DeltaJoiner(self.database, self.join_tree)
         dimension = len(self.features)
         self._count = 0.0

@@ -1,0 +1,42 @@
+"""Documentation must not drift: links resolve and fenced snippets run.
+
+Delegates to :mod:`tools.check_docs` so the test suite and the CI workflow
+enforce exactly the same rules.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+)
+check_docs = importlib.util.module_from_spec(_spec)
+assert _spec.loader is not None
+_spec.loader.exec_module(check_docs)
+
+
+def test_readme_exists_with_quickstart():
+    readme = REPO_ROOT / "README.md"
+    assert readme.exists()
+    text = readme.read_text()
+    assert "Quickstart" in text
+    assert "PYTHONPATH=src python -m pytest" in text
+
+
+def test_all_relative_links_resolve():
+    assert check_docs.check_links() == []
+
+
+def test_fenced_snippets_carry_doctests():
+    """The README quickstart must stay executable (non-empty doctest set)."""
+    blocks = check_docs.doctest_blocks(REPO_ROOT / "README.md")
+    assert blocks, "README.md lost its doctest-able quickstart snippets"
+
+
+def test_fenced_doctests_pass():
+    assert check_docs.check_doctests() == []

@@ -1,0 +1,322 @@
+"""Cost-based join-tree rooting and the cross-evaluate view cache.
+
+Covers the three guarantees of the planning/caching subsystem:
+
+- *path equivalence*: every candidate root — and the cost-based pick in
+  particular — produces identical aggregate values;
+- *cost model*: the optimizer consumes real statistics (row counts, distinct
+  connection-key counts from the column store) and exposes its evidence;
+- *cache semantics*: repeated evaluation over unchanged relations serves
+  views from the cache, and any mutation of a subtree relation invalidates
+  exactly the views above it (correctness after updates included).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.aggregates import Aggregate, AggregateBatch, covariance_batch
+from repro.data import Database, Relation, Schema
+from repro.datasets import load_dataset
+from repro.engine import (
+    EngineOptions,
+    LMFAOEngine,
+    choose_root,
+    collect_statistics,
+    estimate_root_costs,
+)
+from repro.engine.executor import STAT_CACHED, STAT_COLUMNAR
+from repro.query import ConjunctiveQuery, build_join_tree
+
+
+def _values_equal(left, right):
+    if isinstance(left, dict) or isinstance(right, dict):
+        assert isinstance(left, dict) and isinstance(right, dict)
+        assert set(left) == set(right)
+        return all(
+            math.isclose(left[key], right[key], rel_tol=1e-9, abs_tol=1e-9)
+            for key in left
+        )
+    return math.isclose(left, right, rel_tol=1e-9, abs_tol=1e-9)
+
+
+def _assert_results_equal(reference, candidate):
+    assert set(reference.values) == set(candidate.values)
+    for name, value in reference.values.items():
+        assert _values_equal(value, candidate.values[name]), name
+
+
+@pytest.fixture(scope="module")
+def small_yelp():
+    database, query, spec = load_dataset("yelp", review_rows=400, businesses=30, users=40)
+    batch = covariance_batch(spec.continuous_features, spec.categorical_features)
+    return database, query, batch
+
+
+# -- root equivalence -------------------------------------------------------------------
+
+
+def test_every_candidate_root_gives_identical_results_on_toy(toy_database, toy_query):
+    batch = covariance_batch(["price"], ["dish", "day"])
+    reference = None
+    for root in toy_query.relation_names:
+        result = LMFAOEngine(
+            toy_database, toy_query, EngineOptions(root_relation=root)
+        ).evaluate(batch)
+        if reference is None:
+            reference = result
+        else:
+            _assert_results_equal(reference, result)
+
+
+def test_every_candidate_root_gives_identical_results_on_yelp(small_yelp):
+    database, query, batch = small_yelp
+    reference = None
+    for root in query.relation_names:
+        result = LMFAOEngine(
+            database, query, EngineOptions(root_relation=root)
+        ).evaluate(batch)
+        if reference is None:
+            reference = result
+        else:
+            _assert_results_equal(reference, result)
+
+
+def test_cost_based_and_widest_agree_on_views(small_yelp):
+    """Regression: the optimizer must never change *what* is computed."""
+    database, query, batch = small_yelp
+    cost_based = LMFAOEngine(database, query, EngineOptions(root_strategy="cost"))
+    widest = LMFAOEngine(database, query, EngineOptions(root_strategy="widest"))
+    _assert_results_equal(cost_based.evaluate(batch), widest.evaluate(batch))
+
+
+# -- the cost model and its statistics --------------------------------------------------
+
+
+def test_statistics_expose_rows_and_distinct_connection_keys(small_yelp):
+    database, query, _batch = small_yelp
+    tree = build_join_tree(query.hypergraph(database))
+    statistics = collect_statistics(database, tree)
+    reviews = statistics["Reviews"]
+    assert reviews.row_count == len(database.relation("Reviews"))
+    distinct_users = reviews.distinct(database, ("user",))
+    assert distinct_users == len(
+        {row[0] for row, _m in database.relation("Reviews").items()}
+    )
+    # The count is cached on the statistics object after the first read.
+    assert reviews.distinct_counts[("user",)] == distinct_users
+
+
+def test_column_store_distinct_count_matches_python(small_yelp):
+    database, _query, _batch = small_yelp
+    store = database.relation("Reviews").column_store()
+    expected = len({(row[0], row[1]) for row, _m in database.relation("Reviews").items()})
+    assert store.distinct_count(("business", "user")) == expected
+
+
+def test_root_choice_records_costs_for_every_candidate(small_yelp):
+    database, query, _batch = small_yelp
+    engine = LMFAOEngine(database, query)
+    choice = engine.root_choice
+    assert choice is not None and choice.strategy == "cost"
+    assert set(choice.costs) == set(query.relation_names)
+    ranked = choice.ranked()
+    assert ranked[0][0] == engine.join_tree.root.relation_name
+    assert ranked[0][1] == min(choice.costs.values())
+
+
+def test_estimate_root_costs_penalises_hosting_every_signature_at_the_fact_table(small_yelp):
+    """The fact table (widest payload subtree at the root) must not look free."""
+    database, query, _batch = small_yelp
+    tree = build_join_tree(query.hypergraph(database))
+    costs = estimate_root_costs(database, tree)
+    assert costs["Reviews"] == max(costs.values())
+
+
+def test_widest_strategy_restores_the_seed_heuristic(small_yelp):
+    database, query, _batch = small_yelp
+    engine = LMFAOEngine(database, query, EngineOptions(root_strategy="widest"))
+    assert engine.root_choice is None
+    widest = max(
+        query.relation_names,
+        key=lambda name: (
+            database.relation(name).arity,
+            len(database.relation(name)),
+            name,
+        ),
+    )
+    assert engine.join_tree.root.relation_name == widest
+
+
+def test_unknown_root_strategy_is_rejected(toy_database, toy_query):
+    with pytest.raises(ValueError, match="root_strategy"):
+        LMFAOEngine(toy_database, toy_query, EngineOptions(root_strategy="random"))
+
+
+def test_choose_root_falls_back_to_widest_on_empty_databases(toy_database, toy_query):
+    empty = toy_database.empty_copy()
+    tree = build_join_tree(toy_query.hypergraph(empty))
+    choice = choose_root(empty, tree)
+    assert choice.strategy == "widest"
+    assert choice.root in toy_query.relation_names
+
+
+# -- the cross-evaluate view cache ------------------------------------------------------
+
+
+def _star_database():
+    return Database(
+        [
+            Relation(
+                "F",
+                Schema.from_names(["k1", "k2", "m"], ["k1", "k2"]),
+                rows=[(1, 1, 2), (1, 2, 3), (2, 1, 4), (2, 2, 5)],
+            ),
+            Relation("D1", Schema.from_names(["k1", "x"], ["k1"]), rows=[(1, 10), (2, 20)]),
+            Relation("D2", Schema.from_names(["k2", "y"], ["k2"]), rows=[(1, 7), (2, 9)]),
+        ]
+    )
+
+
+def _star_batch():
+    return AggregateBatch(
+        "cached",
+        [
+            Aggregate.count(name="count"),
+            Aggregate.sum_of(["m"], name="sum_m"),
+            Aggregate.sum_of(["m", "x"], name="sum_mx"),
+            Aggregate.sum_of(["y"], group_by=["k1"], name="y_by_k1"),
+        ],
+    )
+
+
+def test_repeated_identical_batch_is_served_from_the_view_cache():
+    database = _star_database()
+    query = ConjunctiveQuery(["F", "D1", "D2"])
+    engine = LMFAOEngine(database, query)
+    first = engine.evaluate(_star_batch())
+    assert first.executor_stats.get(STAT_CACHED, 0) == 0
+    computed = first.executor_stats.get(STAT_COLUMNAR, 0)
+    assert computed > 0
+
+    second = engine.evaluate(_star_batch())
+    # Every planned view hits the cache; nothing is recomputed.
+    assert second.executor_stats.get(STAT_CACHED, 0) == computed
+    assert second.executor_stats.get(STAT_COLUMNAR, 0) == 0
+    _assert_results_equal(first, second)
+
+
+def test_relation_update_invalidates_exactly_the_affected_subtrees():
+    database = _star_database()
+    query = ConjunctiveQuery(["F", "D1", "D2"])
+    engine = LMFAOEngine(database, query)
+    engine.evaluate(_star_batch())
+
+    database["D1"].add((1, 100))
+    third = engine.evaluate(_star_batch())
+    # D1's own views and every ancestor's views recompute; the untouched
+    # sibling subtree (D2, when not on D1's root path) may still hit.
+    assert third.executor_stats.get(STAT_COLUMNAR, 0) > 0
+    # The values reflect the update (no stale cache reads).
+    expected = LMFAOEngine(database, query).evaluate(_star_batch())
+    _assert_results_equal(expected, third)
+
+    affected = {engine.join_tree.node("D1").relation_name} | {
+        node.relation_name for node in engine.join_tree.path_to_root("D1")
+    }
+    untouched_cached = third.executor_stats.get(STAT_CACHED, 0)
+    if len(affected) < len(query.relation_names):
+        assert untouched_cached > 0
+
+
+def test_update_then_revert_still_recomputes():
+    """Version counters only grow: an add/remove pair must not revive entries."""
+    database = _star_database()
+    query = ConjunctiveQuery(["F", "D1", "D2"])
+    engine = LMFAOEngine(database, query)
+    baseline = engine.evaluate(_star_batch())
+
+    database["D1"].add((1, 100))
+    database["D1"].remove((1, 100))
+    after = engine.evaluate(_star_batch())
+    _assert_results_equal(baseline, after)
+
+
+def test_cache_can_be_disabled():
+    database = _star_database()
+    query = ConjunctiveQuery(["F", "D1", "D2"])
+    engine = LMFAOEngine(database, query, EngineOptions(cache_views=False))
+    engine.evaluate(_star_batch())
+    second = engine.evaluate(_star_batch())
+    assert second.executor_stats.get(STAT_CACHED, 0) == 0
+    assert second.executor_stats.get(STAT_COLUMNAR, 0) > 0
+
+
+def test_cache_respects_the_lru_size_bound():
+    database = _star_database()
+    query = ConjunctiveQuery(["F", "D1", "D2"])
+    engine = LMFAOEngine(database, query, EngineOptions(view_cache_size=2))
+    engine.evaluate(_star_batch())
+    assert len(engine._view_cache) <= 2
+    # Still correct when most views were evicted.
+    expected = LMFAOEngine(database, query).evaluate(_star_batch())
+    _assert_results_equal(expected, engine.evaluate(_star_batch()))
+
+
+def test_overlapping_batches_share_cached_views():
+    """A different batch planning the same signatures reuses them."""
+    database = _star_database()
+    query = ConjunctiveQuery(["F", "D1", "D2"])
+    engine = LMFAOEngine(database, query)
+    engine.evaluate(
+        AggregateBatch("first", [Aggregate.count(name="count"),
+                                 Aggregate.sum_of(["m"], name="sum_m")])
+    )
+    overlapping = engine.evaluate(
+        AggregateBatch("second", [Aggregate.sum_of(["m"], name="sum_m"),
+                                  Aggregate.sum_of(["x"], name="sum_x")])
+    )
+    assert overlapping.executor_stats.get(STAT_CACHED, 0) > 0
+
+
+def test_close_clears_the_view_cache():
+    database = _star_database()
+    query = ConjunctiveQuery(["F", "D1", "D2"])
+    engine = LMFAOEngine(database, query)
+    engine.evaluate(_star_batch())
+    assert engine._view_cache
+    engine.close()
+    assert not engine._view_cache
+
+
+def test_cached_views_agree_with_fresh_engine_on_yelp(small_yelp):
+    database, query, batch = small_yelp
+    engine = LMFAOEngine(database, query)
+    engine.evaluate(batch)
+    cached = engine.evaluate(batch)
+    assert cached.executor_stats.get(STAT_CACHED, 0) > 0
+    fresh = LMFAOEngine(database, query).evaluate(batch)
+    _assert_results_equal(fresh, cached)
+
+
+# -- IVM integration --------------------------------------------------------------------
+
+
+def test_maintainer_uses_cost_based_root_on_populated_schema_database(small_yelp):
+    from repro.ivm import FIVM
+
+    database, query, _batch = small_yelp
+    maintainer = FIVM(
+        database, query, ["review_stars", "useful"], root_strategy="cost"
+    )
+    tree = build_join_tree(query.hypergraph(database))
+    assert maintainer.join_tree.root.relation_name == choose_root(database, tree).root
+    widest = FIVM(
+        database, query, ["review_stars", "useful"], root_strategy="widest"
+    )
+    assert widest.join_tree.root.relation_name == max(
+        query.relation_names,
+        key=lambda name: (database.relation(name).arity, name),
+    )

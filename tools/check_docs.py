@@ -1,0 +1,99 @@
+"""Documentation consistency checks: link integrity and runnable snippets.
+
+Run as a script (CI does, and ``tests/test_docs.py`` calls the same
+functions) to fail the build when the documentation drifts from the code::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Two checks:
+
+- **link check** — every relative link target in ``README.md`` and
+  ``docs/*.md`` must exist in the repository (external ``http(s)`` links and
+  pure anchors are skipped);
+- **doctest check** — every fenced ``python`` code block that contains
+  interpreter-prompt lines (``>>>``) is executed with :mod:`doctest`;
+  consecutive blocks of one file share a namespace, so a snippet can build
+  on the previous one the way the README quickstart does.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The documentation surface under check.
+DOC_FILES = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def check_links(paths: List[Path] = None) -> List[str]:
+    """Relative link targets that do not exist, as ``file: target`` strings."""
+    problems: List[str] = []
+    for path in paths or DOC_FILES:
+        if not path.exists():
+            problems.append(f"{path.relative_to(REPO_ROOT)}: file missing")
+            continue
+        for target in _LINK.findall(path.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (path.parent / target.split("#")[0]).resolve()
+            if not resolved.exists():
+                problems.append(f"{path.relative_to(REPO_ROOT)}: broken link {target}")
+    return problems
+
+
+def doctest_blocks(path: Path) -> List[str]:
+    """The fenced python blocks of one file that carry doctest prompts."""
+    if not path.exists():
+        return []
+    return [
+        block for block in _FENCE.findall(path.read_text()) if ">>>" in block
+    ]
+
+
+def check_doctests(paths: List[Path] = None) -> List[str]:
+    """Doctest failures across all documentation files, as readable strings."""
+    failures: List[str] = []
+    runner = doctest.DocTestRunner(verbose=False, optionflags=doctest.ELLIPSIS)
+    parser = doctest.DocTestParser()
+    for path in paths or DOC_FILES:
+        namespace: dict = {}
+        for index, block in enumerate(doctest_blocks(path)):
+            test = parser.get_doctest(
+                block, namespace, f"{path.name}[{index}]", str(path), 0
+            )
+            result = runner.run(
+                test, out=lambda text: failures.append(text.rstrip()), clear_globs=False
+            )
+            # get_doctest copies the namespace; carry definitions forward so
+            # later blocks of the same file can build on earlier ones.
+            namespace.update(test.globs)
+            if result.failed:
+                failures.append(
+                    f"{path.relative_to(REPO_ROOT)}: snippet {index} failed "
+                    f"({result.failed} of {result.attempted} examples)"
+                )
+    return failures
+
+
+def main() -> int:
+    problems = check_links()
+    problems.extend(check_doctests())
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    print(f"docs ok: {len(DOC_FILES)} files checked")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
