@@ -70,3 +70,55 @@ def test_view_cache_warm_repeat(benchmark, bench_datasets, dataset_name):
         "views_columnar", 0
     ) + cold.executor_stats.get("views_tuple_fallback", 0)
     assert warm.executor_stats.get("views_columnar", 0) == 0
+
+
+@pytest.mark.parametrize("dataset_name", ["retailer", "favorita", "yelp"])
+def test_batch_aware_rooting_vs_static(benchmark, bench_datasets, dataset_name):
+    """Where the planned-signature (cost-batch) root differs from the proxy.
+
+    On the full covariance batch the quadratic payload proxy tracks the
+    planned signature counts well; on a narrow count+sum batch most views
+    collapse to counts and the batch-aware model roots differently (usually
+    at the fact table).  PR 3 satellite — the recorded comparison lives in
+    ``rooting_batch_*`` of ``BENCH_PR3.json``.
+    """
+    from repro.aggregates.spec import Aggregate, AggregateBatch
+
+    database, query, spec = bench_datasets[dataset_name]
+    narrow = AggregateBatch(
+        "narrow",
+        [
+            Aggregate.count(),
+            Aggregate.sum_of([spec.continuous_features[0]]),
+            Aggregate.sum_of([spec.continuous_features[0]] * 2),
+        ],
+    )
+    batches = {"full": _covariance(spec), "narrow": narrow}
+
+    def run():
+        outcome = {}
+        for name, batch in batches.items():
+            static = LMFAOEngine(database, query, EngineOptions(root_strategy="cost"))
+            dynamic = LMFAOEngine(
+                database, query, EngineOptions(root_strategy="cost-batch")
+            )
+            static_seconds = static.evaluate(batch).elapsed_seconds
+            dynamic_seconds = dynamic.evaluate(batch).elapsed_seconds
+            outcome[name] = (
+                static.join_tree.root.relation_name,
+                dynamic.join_tree.root.relation_name,
+                static_seconds,
+                dynamic_seconds,
+            )
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n=== Batch-aware rooting {dataset_name} ===")
+    for name, (static_root, batch_root, static_s, dynamic_s) in outcome.items():
+        marker = " (differs)" if static_root != batch_root else ""
+        print(
+            f"  {name:6s} static->{static_root} {static_s:.4f}s | "
+            f"cost-batch->{batch_root} {dynamic_s:.4f}s{marker}"
+        )
+    # The narrow batch is where the two models disagree.
+    assert outcome["narrow"][0] != outcome["narrow"][1]

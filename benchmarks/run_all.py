@@ -19,6 +19,14 @@ Since PR 2 the file additionally records the cost-based rooting comparison
 plus an exhaustive per-root sweep) and the cross-evaluate view-cache figures
 (``view_cache``: cold vs warm evaluation of an identical batch, and the
 recovery cost after a single-tuple update).
+
+Since PR 3 it also records the batched-IVM update-throughput sweep of
+Figure 4 (right) (``ivm_throughput``: all three strategies at batch sizes
+1/100/1000/10000 against the seed commit's per-tuple loop), the delta-aware
+view-cache comparison (``ivm_delta_cache``: single-tuple update loops with
+delta refresh on vs full eviction), and the batch-aware rooting comparison
+(``rooting_batch``: the static cost model vs per-batch planned-signature
+costs on a full and a narrow batch).
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ import importlib.util
 import json
 import os
 import platform
+import random
 import subprocess
 import sys
 import time
@@ -39,8 +48,10 @@ REPO_ROOT = BENCHMARKS_DIR.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.aggregates import covariance_batch  # noqa: E402
+from repro.aggregates.spec import Aggregate, AggregateBatch  # noqa: E402
 from repro.datasets import load_dataset  # noqa: E402
 from repro.engine import EngineOptions, LMFAOEngine, MaterializedJoinEngine  # noqa: E402
+from repro.ivm import FIVM, FirstOrderIVM, HigherOrderIVM, Update  # noqa: E402
 
 
 def _load_module(name: str, path: Path):
@@ -84,6 +95,28 @@ SEED_REFERENCE = {
         "tpcds": {"C": 0.47085, "R": 0.45512},
     },
 }
+
+#: Seed-commit (2f9b836) per-tuple IVM throughput (tuples/s) on the retailer
+#: update stream, measured on the reference machine at the same scales (the
+#: per-strategy stream caps of IVM_STREAM_CAPS applied, best of 2 runs).
+#: Re-measure with --seed-repo.
+SEED_IVM_REFERENCE = {
+    "bench": {"first_order": 1918.6, "higher_order": 14629.8, "fivm": 13066.2},
+    "large": {"first_order": 2488.1, "higher_order": 20823.3, "fivm": 19814.2},
+}
+
+#: Batch sizes of the Figure-4 (right) update-throughput sweep.
+IVM_BATCH_SIZES = [1, 100, 1000, 10000]
+
+#: Stream caps per strategy (first-order is orders of magnitude slower).
+IVM_STREAM_CAPS = {"first_order": 600, "higher_order": 4000, "fivm": None}
+
+IVM_STRATEGIES = {
+    "first_order": FirstOrderIVM,
+    "higher_order": HigherOrderIVM,
+    "fivm": FIVM,
+}
+
 
 #: The Figure-6 knob staircase, taken from the benchmark script itself so the
 #: recorded trajectory always measures the configurations the suite asserts on.
@@ -246,6 +279,188 @@ def _view_cache_timings(scales, rounds: int):
     return figure
 
 
+def _retailer_update_stream(scale):
+    database, query, spec = load_dataset("retailer", **scale)
+    updates = [
+        Update(relation.name, row, 1) for relation in database for row in relation
+    ]
+    random.Random(11).shuffle(updates)
+    return database, query, list(spec.continuous_features), updates
+
+
+def _ivm_throughput_timings(scale, rounds: int, seed_reference):
+    """Figure 4 (right): maintenance throughput per strategy and batch size.
+
+    Batch size 1 drives the per-tuple path (the seed architecture); larger
+    sizes take the grouped columnar delta propagation.  Speedups are against
+    the *seed commit's* per-tuple loop on the same stream (recorded in
+    SEED_IVM_REFERENCE, re-measurable with --seed-repo).
+    """
+    database, query, features, updates = _retailer_update_stream(scale)
+    figure = {"stream_length": len(updates), "features": len(features), "strategies": {}}
+    for name, strategy in IVM_STRATEGIES.items():
+        cap = IVM_STREAM_CAPS[name]
+        stream = updates[:cap] if cap else updates
+        seed_throughput = (seed_reference or {}).get(name)
+        entry = {"stream_length": len(stream), "seed_per_tuple_tuples_per_s": seed_throughput,
+                 "batch_sizes": {}}
+        for batch_size in IVM_BATCH_SIZES:
+            best = 0.0
+            for _ in range(rounds):
+                maintainer = strategy(database, query, features)
+                started = time.perf_counter()
+                if batch_size == 1:
+                    for update in stream:
+                        maintainer.apply(update)
+                else:
+                    for start in range(0, len(stream), batch_size):
+                        maintainer.apply_batch(stream[start : start + batch_size])
+                best = max(best, len(stream) / (time.perf_counter() - started))
+            record = {"tuples_per_s": round(best, 1)}
+            if seed_throughput:
+                record["speedup_vs_seed"] = round(best / seed_throughput, 2)
+            entry["batch_sizes"][str(batch_size)] = record
+        figure["strategies"][name] = entry
+    return figure
+
+
+def _delta_cache_timings(scales, rounds: int, loop_updates: int = 10):
+    """Single-tuple update loops: delta-aware cache refresh vs full eviction.
+
+    Each loop applies one insert to the fact relation and re-evaluates the
+    covariance batch; with ``delta_refresh`` the stale cached views on the
+    mutated relation's root path are patched (only their changed key groups
+    recomputed), without it they are recomputed from scratch.
+    """
+    figure = {}
+    for dataset, scale in scales.items():
+        database, query, spec = load_dataset(dataset, **scale)
+        batch = covariance_batch(spec.continuous_features, spec.categorical_features)
+        fact = max(query.relation_names, key=lambda name: len(database.relation(name)))
+        rows = list(database.relation(fact))[:loop_updates]
+
+        def run(options):
+            engine = LMFAOEngine(database, query, options)
+            engine.evaluate(batch)
+            refreshed = 0
+            started = time.perf_counter()
+            for row in rows:
+                database.relation(fact).add(row, 1)
+                result = engine.evaluate(batch)
+                refreshed += result.executor_stats.get("views_delta_refreshed", 0)
+            elapsed = time.perf_counter() - started
+            for row in rows:
+                database.relation(fact).add(row, -1)
+            return elapsed, refreshed
+
+        on_best, refreshed = float("inf"), 0
+        off_best = float("inf")
+        for _ in range(rounds):
+            elapsed, count = run(EngineOptions(delta_refresh=True))
+            if elapsed < on_best:
+                on_best, refreshed = elapsed, count
+            off_best = min(off_best, run(EngineOptions(delta_refresh=False))[0])
+        figure[dataset] = {
+            "updated_relation": fact,
+            "updates": len(rows),
+            "delta_refresh_seconds": round(on_best, 6),
+            "full_eviction_seconds": round(off_best, 6),
+            "speedup": round(off_best / max(on_best, 1e-12), 2),
+            "views_delta_refreshed": refreshed,
+        }
+    return figure
+
+
+def _rooting_batch_timings(scales, rounds: int):
+    """Batch-aware rooting (cost-batch) vs the static cost model.
+
+    Measured on two batches per dataset: the full covariance batch (where
+    the quadratic payload proxy usually agrees with the planned signature
+    counts) and a narrow count+sum batch (where it does not — most views
+    collapse to counts, so the fact-table root wins).
+    """
+    figure = {}
+    for dataset, scale in scales.items():
+        database, query, spec = load_dataset(dataset, **scale)
+        batches = {
+            "full": covariance_batch(spec.continuous_features, spec.categorical_features),
+            "narrow": AggregateBatch(
+                "narrow",
+                [
+                    Aggregate.count(),
+                    Aggregate.sum_of([spec.continuous_features[0]]),
+                    Aggregate.sum_of([spec.continuous_features[0]] * 2),
+                ],
+            ),
+        }
+        figure[dataset] = {}
+        for batch_name, batch in batches.items():
+            def steady_state(strategy):
+                """Evaluation time under the chosen root, decision excluded.
+
+                The engine sees the batch once (root decided and memoised,
+                encodings warm), then repeated evaluations are timed with
+                the view cache off so real view work is measured.
+                """
+                engine = LMFAOEngine(
+                    database, query,
+                    EngineOptions(root_strategy=strategy, cache_views=False),
+                )
+                started = time.perf_counter()
+                engine.evaluate(batch)
+                first = time.perf_counter() - started
+                best = float("inf")
+                for _ in range(rounds):
+                    best = min(best, engine.evaluate(batch).elapsed_seconds)
+                return engine.join_tree.root.relation_name, best, first
+
+            static_root, static_seconds, _ = steady_state("cost")
+            batch_root, dynamic_seconds, first_seconds = steady_state("cost-batch")
+            figure[dataset][batch_name] = {
+                "static_root": static_root,
+                "batch_root": batch_root,
+                "static_seconds": round(static_seconds, 6),
+                "cost_batch_seconds": round(dynamic_seconds, 6),
+                "cost_batch_first_evaluate_seconds": round(first_seconds, 6),
+                "speedup": round(static_seconds / max(dynamic_seconds, 1e-12), 2),
+            }
+    return figure
+
+
+def _measure_seed_ivm(seed_repo: Path, scale, caps):
+    """Re-measure the seed per-tuple IVM reference from a seed checkout."""
+    script = r"""
+import json, random, sys, time
+root = sys.argv[1]
+sys.path.insert(0, root + "/src")
+from repro.datasets import load_dataset
+from repro.ivm import FIVM, FirstOrderIVM, HigherOrderIVM, Update
+scale = json.loads(sys.argv[2]); caps = json.loads(sys.argv[3])
+database, query, spec = load_dataset("retailer", **scale)
+updates = [Update(r.name, row, 1) for r in database for row in r]
+random.Random(11).shuffle(updates)
+features = list(spec.continuous_features)
+strategies = {"first_order": FirstOrderIVM, "higher_order": HigherOrderIVM, "fivm": FIVM}
+out = {}
+for name, strategy in strategies.items():
+    cap = caps.get(name)
+    stream = updates[:cap] if cap else updates
+    best = 0.0
+    for _ in range(2):
+        m = strategy(database, query, features)
+        t = time.perf_counter()
+        m.apply_batch(stream)
+        best = max(best, len(stream)/(time.perf_counter()-t))
+    out[name] = round(best, 1)
+print(json.dumps(out))
+"""
+    result = subprocess.run(
+        [sys.executable, "-c", script, str(seed_repo), json.dumps(scale), json.dumps(caps)],
+        capture_output=True, text=True, check=True,
+    )
+    return json.loads(result.stdout)
+
+
 def _measure_seed(seed_repo: Path, scales, rounds: int):
     """Re-measure the seed reference from a checkout of the seed commit."""
     script = r"""
@@ -302,7 +517,7 @@ def main() -> None:
             raise argparse.ArgumentTypeError("must be >= 1")
         return value
 
-    parser.add_argument("--pr", type=positive_int, default=2,
+    parser.add_argument("--pr", type=positive_int, default=3,
                         help="PR number recorded in the trajectory file")
     parser.add_argument("--output", default=None,
                         help="defaults to BENCH_PR<pr>.json in the repo root")
@@ -314,18 +529,30 @@ def main() -> None:
     arguments = parser.parse_args()
 
     seed_reference = SEED_REFERENCE
+    seed_ivm_reference = SEED_IVM_REFERENCE
     if arguments.seed_repo:
         seed_reference = {
             "bench": _measure_seed(Path(arguments.seed_repo), BENCH_SCALES, arguments.rounds),
+        }
+        seed_ivm_reference = {
+            "bench": _measure_seed_ivm(
+                Path(arguments.seed_repo), BENCH_SCALES["retailer"], IVM_STREAM_CAPS
+            ),
         }
         if not arguments.skip_large:
             seed_reference["large"] = _measure_seed(
                 Path(arguments.seed_repo), LARGE_SCALES, arguments.rounds
             )
+            seed_ivm_reference["large"] = _measure_seed_ivm(
+                Path(arguments.seed_repo), LARGE_SCALES["retailer"], IVM_STREAM_CAPS
+            )
 
     report = {
         "pr": arguments.pr,
-        "description": "cost-based join-tree rooting + cross-evaluate view cache",
+        "description": (
+            "batched columnar IVM delta propagation + delta-aware view cache "
+            "+ batch-aware rooting"
+        ),
         "machine": {
             "python": platform.python_version(),
             "platform": platform.platform(),
@@ -359,6 +586,22 @@ def main() -> None:
         rooting_scales, arguments.rounds
     )
 
+    # PR 3: the IVM update-throughput sweep (Figure 4 right), the delta-aware
+    # view cache, and batch-aware rooting.
+    report["figures"]["ivm_throughput_bench"] = _ivm_throughput_timings(
+        BENCH_SCALES["retailer"], arguments.rounds, seed_ivm_reference.get("bench")
+    )
+    if not arguments.skip_large:
+        report["figures"]["ivm_throughput_large"] = _ivm_throughput_timings(
+            LARGE_SCALES["retailer"], arguments.rounds, seed_ivm_reference.get("large")
+        )
+    report["figures"][f"ivm_delta_cache_{rooting_label}"] = _delta_cache_timings(
+        rooting_scales, arguments.rounds
+    )
+    report["figures"][f"rooting_batch_{rooting_label}"] = _rooting_batch_timings(
+        rooting_scales, arguments.rounds
+    )
+
     large = report["figures"].get("figure4_batches_large", {})
     speedups = [
         entry.get("speedup_vs_seed")
@@ -367,6 +610,11 @@ def main() -> None:
     ]
     rooting = report["figures"][f"rooting_{rooting_label}"]
     view_cache = report["figures"][f"view_cache_{rooting_label}"]
+    ivm_label = (
+        "ivm_throughput_bench" if arguments.skip_large else "ivm_throughput_large"
+    )
+    ivm = report["figures"][ivm_label]
+    delta_cache = report["figures"][f"ivm_delta_cache_{rooting_label}"]
     report["headline"] = {
         "large_scale_speedups_vs_seed": {
             dataset: {name: entry.get("speedup_vs_seed") for name, entry in batches.items()}
@@ -378,6 +626,16 @@ def main() -> None:
         },
         "view_cache_warm_speedup": {
             dataset: entry["warm_speedup"] for dataset, entry in view_cache.items()
+        },
+        "ivm_batched_speedup_vs_seed_per_tuple": {
+            name: {
+                size: record.get("speedup_vs_seed")
+                for size, record in entry["batch_sizes"].items()
+            }
+            for name, entry in ivm["strategies"].items()
+        },
+        "delta_cache_refresh_speedup": {
+            dataset: entry["speedup"] for dataset, entry in delta_cache.items()
         },
     }
 
@@ -395,6 +653,14 @@ def main() -> None:
         )
     print(f"rooting speedup vs widest: {report['headline']['rooting_speedup_vs_widest']}")
     print(f"view-cache warm speedup: {report['headline']['view_cache_warm_speedup']}")
+    print(
+        "IVM batched speedups vs seed per-tuple: "
+        f"{report['headline']['ivm_batched_speedup_vs_seed_per_tuple']}"
+    )
+    print(
+        "delta-cache refresh speedup: "
+        f"{report['headline']['delta_cache_refresh_speedup']}"
+    )
 
 
 if __name__ == "__main__":

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["ColumnEncoding", "ColumnStore", "combine_codes"]
+__all__ = ["ColumnEncoding", "ColumnStore", "DeltaColumnStore", "combine_codes"]
 
 #: Cap on the mixed-radix cardinality product; above it combined keys fall
 #: back to row-wise ``np.unique(axis=0)`` to avoid int64 overflow.
@@ -198,23 +198,59 @@ class ColumnStore:
     """
 
     def __init__(self, relation, version: Optional[int] = None) -> None:
-        self.relation_name: str = relation.name
-        self.schema = relation.schema
-        self.version = relation.version if version is None else version
         rows: List[Tuple] = []
         multiplicities: List[float] = []
         for row, multiplicity in relation.items():
             rows.append(row)
             multiplicities.append(float(multiplicity))
+        self._init_from(
+            relation.name,
+            relation.schema,
+            rows,
+            np.asarray(multiplicities, dtype=np.float64),
+            relation.version if version is None else version,
+        )
+
+    def _init_from(self, name, schema, rows, multiplicities, version) -> None:
+        self.relation_name: str = name
+        self.schema = schema
+        self.version = version
         self.rows = rows
         self.row_count = len(rows)
-        self.multiplicities = np.asarray(multiplicities, dtype=np.float64)
+        self.multiplicities = multiplicities
         self._encodings: Dict[int, ColumnEncoding] = {}
         self._float_columns: Dict[str, Optional[np.ndarray]] = {}
         self._key_cache: Dict[
             Tuple[str, ...],
             Tuple[np.ndarray, List[Tuple], Optional[List[Optional[np.ndarray]]]],
         ] = {}
+        self._key_indexes: Dict[Tuple[str, ...], Dict[Tuple, int]] = {}
+
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        schema,
+        rows: Sequence[Tuple],
+        multiplicities,
+        version: int = 0,
+    ) -> "ColumnStore":
+        """A store over explicit rows — the *delta relation* constructor.
+
+        The batched IVM path encodes an update batch (rows plus signed
+        multiplicities, no backing :class:`Relation`) this way, so a delta
+        flows through the same dictionary encodings, combined key codes and
+        float columns as any base relation.
+        """
+        store = cls.__new__(cls)
+        store._init_from(
+            name,
+            schema,
+            list(rows),
+            np.asarray(multiplicities, dtype=np.float64),
+            version,
+        )
+        return store
 
     def __len__(self) -> int:
         return self.row_count
@@ -295,6 +331,21 @@ class ColumnStore:
         _codes, tuples, _columns = self._key_data(tuple(attributes))
         return len(tuples)
 
+    def key_index(self, attributes: Sequence[str]) -> Dict[Tuple, int]:
+        """Distinct key tuple -> key code, cached per attribute combination.
+
+        The inverse of :meth:`codes_for`'s tuple list; the delta-propagation
+        machinery probes it to align arbitrary key tuples (e.g. the keys of a
+        payload view or a delta block) with this store's code space.
+        """
+        key = tuple(attributes)
+        index = self._key_indexes.get(key)
+        if index is None:
+            _codes, tuples, _columns = self._key_data(key)
+            index = {value: code for code, value in enumerate(tuples)}
+            self._key_indexes[key] = index
+        return index
+
     def key_columns(self, attributes: Sequence[str]) -> Optional[List[np.ndarray]]:
         """Typed per-attribute value arrays aligned with ``codes_for``'s tuples.
 
@@ -305,3 +356,261 @@ class ColumnStore:
         if columns is None or any(column is None for column in columns):
             return None
         return columns  # type: ignore[return-value]
+
+
+class _GrowArray:
+    """An amortised-doubling numpy array (append/extend + zero-copy view)."""
+
+    __slots__ = ("data", "size")
+
+    def __init__(self, dtype, capacity: int = 16) -> None:
+        self.data = np.empty(max(int(capacity), 1), dtype=dtype)
+        self.size = 0
+
+    def _reserve(self, extra: int) -> None:
+        needed = self.size + extra
+        capacity = self.data.shape[0]
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        grown = np.empty(capacity, dtype=self.data.dtype)
+        grown[: self.size] = self.data[: self.size]
+        self.data = grown
+
+    def append(self, value) -> None:
+        self._reserve(1)
+        self.data[self.size] = value
+        self.size += 1
+
+    def extend(self, values) -> None:
+        values = np.asarray(values, dtype=self.data.dtype)
+        self._reserve(values.shape[0])
+        self.data[self.size : self.size + values.shape[0]] = values
+        self.size += values.shape[0]
+
+    def view(self) -> np.ndarray:
+        return self.data[: self.size]
+
+
+class _DeltaKey:
+    """One registered key of a :class:`DeltaColumnStore`.
+
+    Holds the key dictionary (tuple -> code), the per-entry code array, and
+    one growable *bucket* of entry positions per code — the incrementally
+    maintained CSR the batched IVM propagation joins against.
+    """
+
+    __slots__ = ("positions", "index", "keys", "codes", "buckets",
+                 "track_buckets", "scalar", "_bucket_arrays")
+
+    def __init__(self, positions: List[int], track_buckets: bool = True) -> None:
+        self.positions = positions
+        # Single-attribute keys (the common case) are probed by their bare
+        # value — no tuple construction per row; ``keys`` still lists tuples.
+        self.scalar = len(positions) == 1
+        self.index: Dict[object, int] = {}
+        self.keys: List[Tuple] = []
+        self.codes = _GrowArray(np.int64)
+        # Buckets are plain int lists (appends are just list ops); the array
+        # form is cached per bucket and rebuilt only when the bucket grew
+        # since it was last read — cost proportional to the rows actually
+        # joined, never to the store size.  Keys registered for grouping only
+        # (``track_buckets=False``) skip the bucket bookkeeping entirely.
+        self.track_buckets = track_buckets
+        self.buckets: List[List[int]] = []
+        self._bucket_arrays: Dict[int, np.ndarray] = {}
+
+    def probe(self, key: Tuple) -> Optional[int]:
+        """The code of a key *tuple* (None when unseen)."""
+        return self.index.get(key[0] if self.scalar else key)
+
+    def append_one(self, row: Tuple, entry: int) -> None:
+        """Single-row :meth:`extend` without per-call array machinery."""
+        if self.scalar:
+            probe = row[self.positions[0]]
+            key = (probe,)
+        else:
+            probe = key = tuple(row[position] for position in self.positions)
+        code = self.index.get(probe)
+        if code is None:
+            code = len(self.keys)
+            self.index[probe] = code
+            self.keys.append(key)
+            self.buckets.append([])
+        self.codes.append(code)
+        if self.track_buckets:
+            self.buckets[code].append(entry)
+
+    def extend(self, rows: Sequence[Tuple], base: int) -> None:
+        """Encode ``rows`` (entries ``base..``): one dict probe per row."""
+        index = self.index
+        keys = self.keys
+        buckets = self.buckets
+        positions = self.positions
+        track = self.track_buckets
+        if not positions:
+            # The empty key (a root's connection key): every row codes to 0.
+            if not keys:
+                index[()] = 0
+                keys.append(())
+                buckets.append([])
+            self.codes.extend([0] * len(rows))
+            if track:
+                buckets[0].extend(range(base, base + len(rows)))
+            return
+        codes: List[int] = []
+        scalar = self.scalar
+        position = positions[0] if scalar else -1
+        for offset, row in enumerate(rows):
+            if scalar:
+                probe = row[position]
+            else:
+                probe = tuple(row[index_] for index_ in positions)
+            code = index.get(probe)
+            if code is None:
+                code = len(keys)
+                index[probe] = code
+                keys.append((probe,) if scalar else probe)
+                buckets.append([])
+            codes.append(code)
+            if track:
+                buckets[code].append(base + offset)
+        self.codes.extend(codes)
+
+    def bucket_array(self, code: int) -> np.ndarray:
+        bucket = self.buckets[code]
+        cached = self._bucket_arrays.get(code)
+        if cached is None or cached.shape[0] != len(bucket):
+            cached = np.asarray(bucket, dtype=np.int64)
+            self._bucket_arrays[code] = cached
+        return cached
+
+
+class DeltaColumnStore:
+    """An append-only dictionary-encoded log of signed tuple deltas.
+
+    Where :class:`ColumnStore` snapshots a relation (and is invalidated by
+    any mutation), this store *grows*: update batches append entries with
+    signed multiplicities, and every registered decoding — float columns,
+    key codes, per-key row buckets — is extended in place, so consumers
+    never pay an O(rows) re-encode after a mutation.  Deletes append
+    negative entries instead of mutating: all consumers (ring lifts, delta
+    joins) are linear in the multiplicity, so a cancelling +1/-1 pair of
+    entries contributes exactly zero.
+
+    The batched IVM path maintains one such store per base relation as its
+    columnar mirror: a propagation hop is then a bucket concatenation plus
+    pure array gathers, independent of the relation's total size.
+
+    Columns and keys must be registered before the first append (the store
+    keeps no raw rows to backfill from).
+    """
+
+    def __init__(self, name: str, schema) -> None:
+        self.name = name
+        self.schema = schema
+        self.entry_count = 0
+        self._multiplicities = _GrowArray(np.float64)
+        self._floats: Dict[str, Tuple[int, _GrowArray]] = {}
+        self._keys: Dict[Tuple[str, ...], _DeltaKey] = {}
+
+    def __len__(self) -> int:
+        return self.entry_count
+
+    # -- registration --------------------------------------------------------------------
+
+    def _check_empty(self) -> None:
+        if self.entry_count:
+            raise ValueError(
+                "register columns and keys before the first append; "
+                "the delta store keeps no raw rows to backfill from"
+            )
+
+    def register_float(self, attribute: str) -> None:
+        if attribute in self._floats:
+            return
+        self._check_empty()
+        self._floats[attribute] = (
+            self.schema.index_of(attribute),
+            _GrowArray(np.float64),
+        )
+
+    def register_key(self, attributes: Sequence[str], track_buckets: bool = True) -> None:
+        key = tuple(attributes)
+        state = self._keys.get(key)
+        if state is not None:
+            # Re-registration only ever widens: a grouping-only key asked for
+            # again with buckets starts tracking them.  Widening after rows
+            # were appended would leave the buckets silently incomplete, so
+            # it falls under the same registration-before-append rule.
+            if track_buckets and not state.track_buckets:
+                self._check_empty()
+                state.track_buckets = True
+            return
+        self._check_empty()
+        self._keys[key] = _DeltaKey(
+            [self.schema.index_of(attribute) for attribute in key], track_buckets
+        )
+
+    # -- appends -------------------------------------------------------------------------
+
+    def append_rows(self, rows: Sequence[Tuple], multiplicities) -> None:
+        """Append one delta (rows + signed multiplicities) to every encoding."""
+        base = self.entry_count
+        if len(rows) == 1:
+            # The per-tuple update path: scalar appends, no array round-trips.
+            row = rows[0]
+            self._multiplicities.append(float(multiplicities[0]))
+            for attribute, (position, values) in self._floats.items():
+                values.append(float(row[position]))
+            for state in self._keys.values():
+                state.append_one(row, base)
+            self.entry_count = base + 1
+            return
+        self._multiplicities.extend(np.asarray(multiplicities, dtype=np.float64))
+        for attribute, (position, values) in self._floats.items():
+            values.extend([float(row[position]) for row in rows])
+        for state in self._keys.values():
+            state.extend(rows, base)
+        self.entry_count = base + len(rows)
+
+    # -- columnar access -----------------------------------------------------------------
+
+    @property
+    def multiplicities(self) -> np.ndarray:
+        return self._multiplicities.view()
+
+    def float_column(self, attribute: str) -> np.ndarray:
+        return self._floats[attribute][1].view()
+
+    def key_codes(self, attributes: Sequence[str]) -> Tuple[np.ndarray, List[Tuple]]:
+        """Per-entry key code plus the distinct key tuples, in code order."""
+        state = self._keys[tuple(attributes)]
+        return state.codes.view(), state.keys
+
+    def buckets_for(
+        self, attributes: Sequence[str], keys: Sequence[Tuple]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Entry positions per requested key, concatenated in CSR form.
+
+        Returns ``(offsets, positions)``: ``positions[offsets[i] :
+        offsets[i + 1]]`` are the store entries whose key equals ``keys[i]``
+        — the incremental counterpart of grouping a snapshot store's key
+        codes, at cost O(matched entries) per call.
+        """
+        state = self._keys[tuple(attributes)]
+        probe = state.probe
+        views: List[np.ndarray] = []
+        offsets = np.zeros(len(keys) + 1, dtype=np.int64)
+        total = 0
+        for position, key in enumerate(keys):
+            code = probe(key)
+            if code is not None:
+                view = state.bucket_array(code)
+                views.append(view)
+                total += view.shape[0]
+            offsets[position + 1] = total
+        if not views:
+            return offsets, np.empty(0, dtype=np.int64)
+        return offsets, np.concatenate(views)

@@ -10,8 +10,10 @@ Tuples whose multiplicity reaches zero are dropped from the map.
 from __future__ import annotations
 
 import random
+from collections import deque
 from typing import (
     Callable,
+    Deque,
     Dict,
     Iterable,
     Iterator,
@@ -26,6 +28,9 @@ from repro.data.attribute import Attribute, AttributeType, Schema, SchemaError
 
 Row = Tuple
 RowValue = object
+
+#: How many recent changes a relation remembers (see :meth:`Relation.changes_since`).
+CHANGE_LOG_LIMIT = 128
 
 
 class RelationError(ValueError):
@@ -51,6 +56,11 @@ class Relation:
         self._data: Dict[Row, int] = {}
         self._version = 0
         self._column_store = None
+        # The cheap changed-rows log: (version after the change, row, signed
+        # multiplicity), bounded by CHANGE_LOG_LIMIT.  ``_log_floor`` is the
+        # oldest version the log can still reconstruct changes from.
+        self._change_log: Deque[Tuple[int, Row, int]] = deque(maxlen=CHANGE_LOG_LIMIT)
+        self._log_floor = 0
         if multiplicities is not None:
             for row, multiplicity in multiplicities.items():
                 self.add(tuple(row), multiplicity)
@@ -114,10 +124,41 @@ class Relation:
         else:
             self._data[key] = updated
         self._version += 1
+        self._log_change(self._version, key, multiplicity)
 
     def remove(self, row: Sequence[RowValue], multiplicity: int = 1) -> None:
         """Remove ``multiplicity`` copies of ``row``."""
         self.add(row, -multiplicity)
+
+    def add_batch(self, rows: Sequence[Row], multiplicities: Sequence[int]) -> None:
+        """Apply one signed delta (rows + multiplicities) in a single pass.
+
+        Semantically a loop of :meth:`add` — the per-row arity check included
+        — but with one version bump for the whole delta, which is what the
+        batched IVM path wants: downstream caches see a single mutation.
+        """
+        arity = self.arity
+        # Validate everything before mutating anything: a mid-batch failure
+        # must not leave rows applied under an unbumped version (every
+        # version-guarded cache would then serve stale state as fresh).
+        for row in rows:
+            if len(row) != arity:
+                raise RelationError(
+                    f"row arity {len(row)} does not match schema arity {arity} "
+                    f"of relation {self.name!r}"
+                )
+        data = self._data
+        for row, multiplicity in zip(rows, multiplicities):
+            if multiplicity == 0:
+                continue
+            key = tuple(row)
+            updated = data.get(key, 0) + multiplicity
+            if updated == 0:
+                data.pop(key, None)
+            else:
+                data[key] = updated
+            self._log_change(self._version + 1, key, multiplicity)
+        self._version += 1
 
     def insert_all(self, rows: Iterable[Sequence[RowValue]]) -> None:
         for row in rows:
@@ -126,6 +167,34 @@ class Relation:
     def clear(self) -> None:
         self._data.clear()
         self._version += 1
+        # A clear is not representable as a small delta: drop log coverage.
+        self._change_log.clear()
+        self._log_floor = self._version
+
+    def _log_change(self, version: int, row: Row, multiplicity: int) -> None:
+        log = self._change_log
+        if len(log) == log.maxlen:
+            # Evicting the oldest entry loses coverage of its version.
+            self._log_floor = max(self._log_floor, log[0][0])
+        log.append((version, row, multiplicity))
+
+    def changes_since(self, version: int) -> Optional[List[Tuple[Row, int]]]:
+        """The signed row changes applied after ``version``, oldest first.
+
+        Returns None when the log cannot reconstruct them — the requested
+        version predates the bounded log's coverage, or a ``clear`` happened
+        since.  Consumers (the engine's delta-aware view cache) then fall
+        back to a full recompute.
+        """
+        if version < self._log_floor:
+            return None
+        if version >= self._version:
+            return []
+        return [
+            (row, multiplicity)
+            for logged_version, row, multiplicity in self._change_log
+            if logged_version > version
+        ]
 
     # -- columnar view -----------------------------------------------------------
 
@@ -149,6 +218,19 @@ class Relation:
             store = ColumnStore(self, version=self._version)
             self._column_store = store
         return store
+
+    def cached_column_store(self):
+        """The cached store only if it is current — never triggers a rebuild.
+
+        Update-heavy code (the batched IVM propagation) asks this first: a
+        fresh store means the vectorised CSR path over the full encoding is
+        free, while ``None`` means re-encoding would cost O(rows) and the
+        caller should fall back to its incrementally maintained indexes.
+        """
+        store = self._column_store
+        if store is not None and store.version == self._version:
+            return store
+        return None
 
     # -- derived views -----------------------------------------------------------
 

@@ -15,8 +15,10 @@ from repro.engine.statistics import (
     RelationStatistics,
     RootChoice,
     choose_root,
+    choose_root_for_batch,
     collect_statistics,
     estimate_root_costs,
+    estimate_root_costs_for_batch,
 )
 
 __all__ = [
@@ -30,6 +32,8 @@ __all__ = [
     "RelationStatistics",
     "RootChoice",
     "choose_root",
+    "choose_root_for_batch",
     "collect_statistics",
     "estimate_root_costs",
+    "estimate_root_costs_for_batch",
 ]

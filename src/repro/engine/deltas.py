@@ -1,0 +1,160 @@
+"""Reusable columnar delta machinery: CSR grouping and join-key alignment.
+
+The vectorised executor joins child views through CSR-style offset tables and
+matches join keys in code space; the batched IVM path propagates *delta
+relations* through the join tree with exactly the same primitives.  This
+module is the shared home for that machinery:
+
+- :func:`match_key_columns` — vectorised key matching between two typed key
+  dictionaries (factored out of :mod:`repro.engine.executor`);
+- :func:`csr_from_codes` — group the rows of a store by key code into
+  ``(offsets, order)`` CSR form;
+- :func:`expand_matches` — the `np.repeat` expansion joining a coded item
+  array against a CSR table (items with code ``-1`` drop out);
+- :func:`key_codes_for` — align arbitrary key tuples with a
+  :class:`~repro.data.colstore.ColumnStore`'s code space, typed-vectorised
+  when possible and via the store's cached key index otherwise.
+
+Everything here is pure array manipulation over dictionary-encoded keys —
+no per-row Python on any hot path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.colstore import ColumnStore, as_sortable_array
+
+__all__ = [
+    "match_key_columns",
+    "csr_from_codes",
+    "expand_matches",
+    "key_codes_for",
+    "typed_key_columns",
+]
+
+
+def match_key_columns(
+    parent_columns: List[np.ndarray], child_columns: List[np.ndarray]
+) -> Optional[np.ndarray]:
+    """Vectorised key matching: child slot (or -1) per parent key combination.
+
+    Both sides are re-coded per attribute into the shared value domain (one
+    ``np.unique`` over the concatenated dictionaries), the per-attribute codes
+    are mixed arithmetically, and the parent's mixed codes are located among
+    the child's via ``searchsorted`` — no per-key Python at all.
+    """
+    parent_mixed: Optional[np.ndarray] = None
+    child_mixed: Optional[np.ndarray] = None
+    capacity = 1
+    for parent, child in zip(parent_columns, child_columns):
+        parent_kind = parent.dtype.kind
+        child_kind = child.dtype.kind
+        if (parent_kind in "iufb") != (child_kind in "iufb"):
+            return None
+        if (parent_kind in "iub") != (child_kind in "iub"):
+            # One integer side, one float side: concatenation would promote
+            # to float64 and collapse distinct integers beyond 2**53 —
+            # Python equality would keep them apart.  Probe the dictionary.
+            return None
+        domain = np.unique(np.concatenate((parent, child)))
+        capacity *= max(int(domain.size), 1)
+        if capacity > 2 ** 62:
+            return None
+        parent_codes = np.searchsorted(domain, parent)
+        child_codes = np.searchsorted(domain, child)
+        if parent_mixed is None:
+            parent_mixed, child_mixed = parent_codes, child_codes
+        else:
+            parent_mixed = parent_mixed * domain.size + parent_codes
+            child_mixed = child_mixed * domain.size + child_codes
+    if parent_mixed is None or child_mixed is None:
+        return None
+    if child_mixed.size == 0:
+        return np.full(parent_mixed.size, -1, dtype=np.int64)
+    order = np.argsort(child_mixed)
+    ordered = child_mixed[order]
+    positions = np.searchsorted(ordered, parent_mixed)
+    inside = positions < ordered.size
+    clipped = np.where(inside, positions, 0)
+    matches = inside & (ordered[clipped] == parent_mixed)
+    return np.where(matches, order[clipped], -1).astype(np.int64, copy=False)
+
+
+def csr_from_codes(codes: np.ndarray, size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Group row positions by key code: ``(offsets, order)`` in CSR form.
+
+    ``order[offsets[code] : offsets[code + 1]]`` are the row positions whose
+    key has ``code``; built with one stable argsort, no Python loop.
+    """
+    order = np.argsort(codes, kind="stable")
+    counts = np.bincount(codes, minlength=size)
+    offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64, copy=False)
+    return offsets, order.astype(np.int64, copy=False)
+
+
+def expand_matches(
+    item_codes: np.ndarray, offsets: np.ndarray, order: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Join items against a CSR table: ``(item_index, member_row)`` pairs.
+
+    ``item_codes[i]`` is item ``i``'s key code in the table's code space (or
+    ``-1`` for no match).  Item ``i`` expands into one output pair per member
+    row of its bucket; items with empty buckets or code ``-1`` disappear —
+    the CSR analogue of a join dropping dangling tuples.
+    """
+    live = item_codes >= 0
+    counts = np.zeros(item_codes.size, dtype=np.int64)
+    if live.any():
+        bucket_sizes = offsets[1:] - offsets[:-1]
+        counts[live] = bucket_sizes[item_codes[live]]
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    item_index = np.repeat(np.arange(item_codes.size, dtype=np.int64), counts)
+    starts = np.zeros(item_codes.size, dtype=np.int64)
+    starts[live] = offsets[item_codes[live]]
+    exclusive = np.cumsum(counts) - counts
+    within = np.arange(total, dtype=np.int64) - np.repeat(exclusive, counts)
+    member_rows = order[np.repeat(starts, counts) + within]
+    return item_index, member_rows
+
+
+def typed_key_columns(keys: Sequence[Tuple]) -> Optional[List[np.ndarray]]:
+    """Per-position typed arrays over a list of key tuples (None when mixed)."""
+    if not keys or not keys[0]:
+        return None
+    columns = [
+        as_sortable_array([key[position] for key in keys])
+        for position in range(len(keys[0]))
+    ]
+    if any(column is None for column in columns):
+        return None
+    return columns  # type: ignore[return-value]
+
+
+def key_codes_for(
+    keys: Sequence[Tuple], store: ColumnStore, attributes: Tuple[str, ...]
+) -> np.ndarray:
+    """Code (or -1) of each key tuple in ``store``'s key space for ``attributes``.
+
+    Keys whose positions all reduce to comparable typed arrays are matched
+    fully vectorised against the store's key columns; anything else probes
+    the store's cached key index once per key.
+    """
+    if attributes:
+        store_columns = store.key_columns(attributes)
+        if store_columns is not None:
+            columns = typed_key_columns(keys)
+            if columns is not None:
+                mapped = match_key_columns(columns, store_columns)
+                if mapped is not None:
+                    return mapped
+    index = store.key_index(attributes)
+    get = index.get
+    return np.fromiter(
+        (get(key, -1) for key in keys), dtype=np.int64, count=len(keys)
+    )

@@ -41,6 +41,7 @@ import numpy as _np
 from repro.aggregates.spec import FilterOp
 from repro.data.colstore import ColumnEncoding, ColumnStore, as_sortable_array, combine_codes
 from repro.data.relation import Relation
+from repro.engine.deltas import match_key_columns as _match_key_columns
 from repro.engine.plan import ViewSignature
 from repro.query.join_tree import JoinTreeNode
 
@@ -57,6 +58,10 @@ STAT_INTERPRETED = "views_interpreted"
 #: Views served from the engine's cross-evaluate view cache (never computed
 #: here; the key exists so one stats dictionary covers all view outcomes).
 STAT_CACHED = "views_cached"
+#: Stale cached views the engine patched in place by recomputing only their
+#: changed key groups after a small update (see ``LMFAOEngine``); like
+#: :data:`STAT_CACHED`, counted by the engine, never by this module.
+STAT_DELTA_REFRESHED = "views_delta_refreshed"
 
 
 def restrict_signature(
@@ -262,7 +267,7 @@ class _ChildTable:
 
     __slots__ = ("slot_index", "offsets", "counts", "values", "group_ids",
                  "group_pairs", "has_groups", "key_columns", "group_attrs",
-                 "slot_conn_ids", "conn_space")
+                 "slot_conn_ids", "conn_space", "_pair_index")
 
     def __init__(
         self,
@@ -297,6 +302,20 @@ class _ChildTable:
         # cached store-to-store key mapping for every view of this child.
         self.slot_conn_ids = slot_conn_ids
         self.conn_space = conn_space
+        self._pair_index: Optional[Dict[Tuple, int]] = None
+
+    def pair_index(self) -> Dict[Tuple, int]:
+        """Group pairs -> group id, built once and shared with patched copies.
+
+        ``group_pairs`` is append-only, so a patched table (see
+        :func:`patch_child_table`) extends this same dictionary and list; the
+        original table's entries keep referencing their old ids unchanged.
+        """
+        if self._pair_index is None:
+            self._pair_index = {
+                pairs: gid for gid, pairs in enumerate(self.group_pairs)
+            }
+        return self._pair_index
 
     @staticmethod
     def from_view(view: "View") -> "_ChildTable":
@@ -352,7 +371,113 @@ def _table_for(view: "View") -> _ChildTable:
     """CSR table of a child view, array-native when the view is columnar."""
     if isinstance(view, ColumnarView):
         return view.table()
+    if isinstance(view, PatchedView):
+        return view.patched_table
     return _ChildTable.from_view(view)
+
+
+class PatchedView(dict):
+    """A cached view refreshed in place by the delta-aware view cache.
+
+    Behaves as the plain nested-dict view (the merged content), but carries
+    a pre-patched CSR table so parent nodes keep consuming arrays instead of
+    re-flattening the whole dict after every small update.
+    """
+
+    patched_table: _ChildTable
+
+
+def patch_child_table(
+    old: _ChildTable,
+    changed_keys: Sequence[Tuple],
+    replacement: Mapping[Tuple, Mapping[Tuple, float]],
+) -> _ChildTable:
+    """Rebuild a CSR child table with the entries of ``changed_keys`` replaced.
+
+    Kept slots are selected with one boolean gather over the entry arrays;
+    only the replacement entries are visited in Python.  The group-pair
+    dictionary is shared (append-only) with the old table, so successive
+    patches never re-encode the unchanged group keys.
+    """
+    counts = old.counts
+    keep = _np.ones(counts.shape[0], dtype=bool)
+    for key in changed_keys:
+        slot = old.slot_index.get(key)
+        if slot is not None:
+            keep[slot] = False
+    entry_mask = _np.repeat(keep, counts)
+    kept_values = old.values[entry_mask]
+    kept_group_ids = old.group_ids[entry_mask]
+    kept_counts = counts[keep]
+
+    # Kept keys stay in slot order (slot_index insertion order is slot order).
+    slot_index: Dict[Tuple, int] = {}
+    position = 0
+    for key, slot in old.slot_index.items():
+        if keep[slot]:
+            slot_index[key] = position
+            position += 1
+
+    group_pairs = old.group_pairs       # shared, append-only
+    pair_index = old.pair_index()       # extends in place alongside the list
+    attrs = old.group_attrs
+    extra_values: List[float] = []
+    extra_group_ids: List[int] = []
+    extra_counts: List[int] = []
+    has_new_groups = False
+    for key in changed_keys:
+        groups = replacement.get(key)
+        if not groups:
+            continue
+        slot_index[key] = position
+        position += 1
+        extra_counts.append(len(groups))
+        for pairs, value in groups.items():
+            if pairs and attrs is not None:
+                # Align the replacement's (canonically sorted) pairs with the
+                # old table's fixed attribute sequence so equal group keys
+                # share one group id.
+                mapping = dict(pairs)
+                if len(mapping) == len(attrs) and all(a in mapping for a in attrs):
+                    pairs = tuple((attribute, mapping[attribute]) for attribute in attrs)
+                else:
+                    attrs = None
+            if pairs != EMPTY_GROUP:
+                has_new_groups = True
+            gid = pair_index.get(pairs)
+            if gid is None:
+                gid = len(group_pairs)
+                pair_index[pairs] = gid
+                group_pairs.append(pairs)
+            extra_group_ids.append(gid)
+            extra_values.append(value)
+
+    values = kept_values
+    group_ids = kept_group_ids
+    all_counts = kept_counts
+    if extra_values:
+        values = _np.concatenate((kept_values, _np.asarray(extra_values, dtype=_np.float64)))
+        group_ids = _np.concatenate(
+            (kept_group_ids, _np.asarray(extra_group_ids, dtype=_np.int64))
+        )
+        all_counts = _np.concatenate(
+            (kept_counts, _np.asarray(extra_counts, dtype=_np.int64))
+        )
+    offsets = _np.concatenate(
+        ([0], _np.cumsum(all_counts))
+    ).astype(_np.int64, copy=False)
+    table = _ChildTable(
+        slot_index,
+        offsets,
+        values,
+        group_ids,
+        group_pairs,
+        old.has_groups or has_new_groups,
+        None,            # key columns: dropped, parents fall back to probing
+        attrs,
+    )
+    table._pair_index = pair_index
+    return table
 
 
 class ColumnarView(dict):
@@ -687,53 +812,6 @@ class ColumnarContext:
             mapping = _match_key_columns(parent_columns, child_columns)
         self._cross_maps[key] = (child_store, mapping)
         return mapping
-
-
-def _match_key_columns(
-    parent_columns: List[_np.ndarray], child_columns: List[_np.ndarray]
-) -> Optional[_np.ndarray]:
-    """Vectorised key matching: child slot (or -1) per parent key combination.
-
-    Both sides are re-coded per attribute into the shared value domain (one
-    ``np.unique`` over the concatenated dictionaries), the per-attribute codes
-    are mixed arithmetically, and the parent's mixed codes are located among
-    the child's via ``searchsorted`` — no per-key Python at all.
-    """
-    parent_mixed: Optional[_np.ndarray] = None
-    child_mixed: Optional[_np.ndarray] = None
-    capacity = 1
-    for parent, child in zip(parent_columns, child_columns):
-        parent_kind = parent.dtype.kind
-        child_kind = child.dtype.kind
-        if (parent_kind in "iufb") != (child_kind in "iufb"):
-            return None
-        if (parent_kind in "iub") != (child_kind in "iub"):
-            # One integer side, one float side: concatenation would promote
-            # to float64 and collapse distinct integers beyond 2**53 —
-            # Python equality would keep them apart.  Probe the dictionary.
-            return None
-        domain = _np.unique(_np.concatenate((parent, child)))
-        capacity *= max(int(domain.size), 1)
-        if capacity > 2 ** 62:
-            return None
-        parent_codes = _np.searchsorted(domain, parent)
-        child_codes = _np.searchsorted(domain, child)
-        if parent_mixed is None:
-            parent_mixed, child_mixed = parent_codes, child_codes
-        else:
-            parent_mixed = parent_mixed * domain.size + parent_codes
-            child_mixed = child_mixed * domain.size + child_codes
-    if parent_mixed is None or child_mixed is None:
-        return None
-    if child_mixed.size == 0:
-        return _np.full(parent_mixed.size, -1, dtype=_np.int64)
-    order = _np.argsort(child_mixed)
-    ordered = child_mixed[order]
-    positions = _np.searchsorted(ordered, parent_mixed)
-    inside = positions < ordered.size
-    clipped = _np.where(inside, positions, 0)
-    matches = inside & (ordered[clipped] == parent_mixed)
-    return _np.where(matches, order[clipped], -1).astype(_np.int64, copy=False)
 
 
 def _vectorised_value_mask(encoding: ColumnEncoding, condition) -> Optional[_np.ndarray]:

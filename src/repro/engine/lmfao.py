@@ -26,18 +26,31 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from collections import OrderedDict
 
+import numpy as np
+
 from repro.aggregates.spec import Aggregate, AggregateBatch
 from repro.data.database import Database
+from repro.data.relation import Relation
 from repro.engine.executor import (
     STAT_CACHED,
+    STAT_DELTA_REFRESHED,
     ColumnarContext,
     ColumnarView,
+    PatchedView,
     View,
+    _ChildTable,
+    _table_for,
     compute_node_views,
+    patch_child_table,
 )
 from repro.engine.plan import BatchPlan, ViewSignature, plan_batch
 from repro.engine.naive import evaluate_aggregate_over_rows
-from repro.engine.statistics import RootChoice, choose_root, widest_relation
+from repro.engine.statistics import (
+    RootChoice,
+    choose_root,
+    choose_root_for_batch,
+    widest_relation,
+)
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.join_tree import JoinTree, JoinTreeNode, build_join_tree
 
@@ -70,6 +83,16 @@ class EngineOptions:
     ``view_cache_size``
         Upper bound on cached views per engine; least-recently-used entries
         are evicted beyond it.
+    ``delta_refresh``
+        With ``cache_views``: instead of recomputing a cached view whose
+        subtree saw a *small* update from scratch, recompute only its changed
+        key groups (derived from the mutated relation's change log) and
+        splice them into the cached view — see
+        :meth:`LMFAOEngine._try_delta_refresh`.
+    ``delta_refresh_limit``
+        Delta-refresh only engages while the logged change set and the
+        changed-key set stay at or below this size; larger deltas fall back
+        to the plain recompute.
     """
 
     specialize: bool = True     # compiled (columnar or tuple) access vs per-row dict interpretation
@@ -78,9 +101,11 @@ class EngineOptions:
     parallel: bool = False      # evaluate independent join-tree nodes concurrently
     workers: Optional[int] = None   # None: derived from os.cpu_count()
     root_relation: Optional[str] = None
-    root_strategy: str = "cost"     # "cost" | "widest"
+    root_strategy: str = "cost"     # "cost" | "widest" | "cost-batch"
     cache_views: bool = True
     view_cache_size: int = 512
+    delta_refresh: bool = True
+    delta_refresh_limit: int = 64
 
     def resolved_workers(self) -> int:
         """The thread-pool size: explicit ``workers`` or a cpu-count default."""
@@ -187,19 +212,32 @@ class LMFAOEngine:
         }
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_finalizer: Optional[weakref.finalize] = None
+        # Memoised cost-batch rooting decisions, keyed by the batch's shape
+        # (see _batch_root_key); chosen against the statistics at first sight.
+        # Unhashable batch shapes are memoised by object identity instead (a
+        # strong reference rides along so the id cannot be recycled).
+        self._batch_roots: Dict[Tuple, str] = {}
+        self._batch_roots_by_id: Dict[int, Tuple[AggregateBatch, str]] = {}
+        # Parked per-root state for cost-batch rerooting: alternating batch
+        # shapes with different best roots swap their trees, subtree names
+        # and view caches instead of recomputing them from scratch.
+        self._root_state: Dict[str, Tuple[JoinTree, Dict[str, Tuple[str, ...]],
+                                          "OrderedDict[Tuple[str, ViewSignature], Tuple[Tuple[int, ...], View]]"]] = {}
 
     # -- construction ---------------------------------------------------------------------
 
     def _build_join_tree(self) -> JoinTree:
         hypergraph = self.query.hypergraph(self.database)
-        if self.options.root_strategy not in ("cost", "widest"):
+        if self.options.root_strategy not in ("cost", "widest", "cost-batch"):
             raise ValueError(
                 f"unknown root_strategy {self.options.root_strategy!r}; "
-                "expected 'cost' or 'widest'"
+                "expected 'cost', 'widest' or 'cost-batch'"
             )
         root = self.options.root_relation
         if root is None:
-            if self.options.root_strategy == "cost":
+            if self.options.root_strategy in ("cost", "cost-batch"):
+                # cost-batch starts from the batch-independent choice and
+                # re-roots per batch on evaluate (see _reroot_for_batch).
                 unrooted = build_join_tree(hypergraph)
                 self.root_choice = choose_root(self.database, unrooted)
                 root = self.root_choice.root
@@ -228,6 +266,9 @@ class LMFAOEngine:
                 self._pool_finalizer = None
         self._context_cache.clear()
         self._view_cache.clear()
+        self._root_state.clear()
+        self._batch_roots.clear()
+        self._batch_roots_by_id.clear()
 
     def __enter__(self) -> "LMFAOEngine":
         return self
@@ -256,6 +297,8 @@ class LMFAOEngine:
         relation is recomputed.
         """
         started = time.perf_counter()
+        if self.options.root_strategy == "cost-batch" and self.options.root_relation is None:
+            self._reroot_for_batch(batch)
         plan = self.plan(batch)
         stats: Dict[str, int] = {}
         views = self._evaluate_views(plan, stats)
@@ -281,6 +324,66 @@ class LMFAOEngine:
         )
 
     # -- internals ---------------------------------------------------------------------------
+
+    @staticmethod
+    def _batch_root_key(batch: AggregateBatch) -> Optional[Tuple]:
+        """A hashable shape key for a batch (None when not hashable)."""
+        key = tuple(
+            (aggregate.product, aggregate.group_by, aggregate.filters, aggregate.inequality)
+            for aggregate in batch
+        )
+        try:
+            hash(key)
+        except TypeError:
+            return None
+        return key
+
+    def _reroot_for_batch(self, batch: AggregateBatch) -> None:
+        """Re-root the join tree for this batch (``root_strategy="cost-batch"``).
+
+        The choice scores every candidate root with the batch's *planned*
+        signature counts (see
+        :func:`~repro.engine.statistics.choose_root_for_batch`) and is
+        memoised per batch shape against the statistics at first sight — an
+        evaluate loop over one batch plans the rooting once.  An actual
+        re-root *parks* the current tree, subtree names and view cache under
+        the outgoing root and restores any previously parked state for the
+        incoming one, so workloads alternating batch shapes with different
+        best roots keep their caches instead of rebuilding from scratch.
+        """
+        key = self._batch_root_key(batch)
+        if key is not None:
+            root = self._batch_roots.get(key)
+        else:
+            entry = self._batch_roots_by_id.get(id(batch))
+            root = entry[1] if entry is not None and entry[0] is batch else None
+        if root is None:
+            choice = choose_root_for_batch(self.database, self.join_tree, batch)
+            self.root_choice = choice
+            root = choice.root
+            if key is not None:
+                self._batch_roots[key] = root
+            else:
+                if len(self._batch_roots_by_id) >= 32:
+                    self._batch_roots_by_id.clear()
+                self._batch_roots_by_id[id(batch)] = (batch, root)
+        current = self.join_tree.root.relation_name
+        if root != current:
+            self._root_state[current] = (
+                self.join_tree, self._subtree_names, self._view_cache
+            )
+            parked = self._root_state.pop(root, None)
+            if parked is not None:
+                self.join_tree, self._subtree_names, self._view_cache = parked
+            else:
+                self.join_tree = self.join_tree.rerooted(root)
+                self._subtree_names = {
+                    node.relation_name: tuple(
+                        sorted(child.relation_name for child in node.subtree_nodes())
+                    )
+                    for node in self.join_tree.nodes()
+                }
+                self._view_cache = OrderedDict()
 
     @staticmethod
     def _unique_name(aggregate: Aggregate, existing: Mapping[str, AggregateValue]) -> str:
@@ -319,12 +422,19 @@ class LMFAOEngine:
         cache = self._view_cache if (self.options.cache_views and share) else None
 
         def resolve_cached(node: JoinTreeNode) -> Tuple[List[ViewSignature], Tuple[int, ...]]:
-            """Serve cache hits for one node; return the signatures left to compute."""
+            """Serve cache hits for one node; return the signatures left to compute.
+
+            Stale entries are first offered to the delta-refresh path (see
+            :meth:`_try_delta_refresh`): after a small update only the
+            changed key groups of a cached view are recomputed, instead of
+            the whole view.
+            """
             signatures = plan.views_per_node[node.relation_name]
             if cache is None:
                 return list(signatures), ()
             versions = self._subtree_versions(node)
             pending: List[ViewSignature] = []
+            stale: List[Tuple[ViewSignature, Tuple[Tuple[int, ...], View]]] = []
             hits = 0
             for signature in signatures:
                 entry = cache.get((node.relation_name, signature))
@@ -332,8 +442,14 @@ class LMFAOEngine:
                     cache.move_to_end((node.relation_name, signature))
                     views[(node.relation_name, signature)] = entry[1]
                     hits += 1
+                elif entry is not None:
+                    stale.append((signature, entry))
                 else:
                     pending.append(signature)
+            if stale:
+                pending.extend(
+                    self._try_delta_refresh(node, stale, versions, plan, views, stats)
+                )
             if hits and stats is not None:
                 stats[STAT_CACHED] = stats.get(STAT_CACHED, 0) + hits
             return pending, versions
@@ -411,6 +527,178 @@ class LMFAOEngine:
                     store_cached(node, pending[node.relation_name][1], computed)
                     merge_stats(node_stats)
         return views
+
+    # -- delta-aware cache refresh -------------------------------------------------------
+
+    def _changed_conn_keys(
+        self,
+        target: JoinTreeNode,
+        changed_name: str,
+        changes: List[Tuple[Tuple, int]],
+    ) -> Optional[List[Tuple]]:
+        """The connection keys of ``target`` affected by ``changes`` to one relation.
+
+        Walks the join-tree path from the mutated relation up to ``target``:
+        the mutated node's affected keys are those of the changed rows, and
+        each ancestor's are the connection keys of its rows whose child key
+        is affected — read off the (fresh, because only ``changed_name``
+        mutated) column stores.  None when the set outgrows
+        ``delta_refresh_limit``.
+        """
+        limit = int(self.options.delta_refresh_limit)
+        node = self.join_tree.node(changed_name)
+        relation = self.database.relation(changed_name)
+        conn = tuple(sorted(node.connection_attributes()))
+        positions = [relation.schema.index_of(attribute) for attribute in conn]
+        keys = {tuple(row[position] for position in positions) for row, _m in changes}
+        while node.relation_name != target.relation_name:
+            if len(keys) > limit:
+                return None
+            parent = node.parent
+            if parent is None:
+                return None
+            store = self.database.relation(parent.relation_name).column_store()
+            child_attrs = tuple(sorted(node.connection_attributes()))
+            codes, _tuples = store.codes_for(child_attrs)
+            index = store.key_index(child_attrs)
+            changed_codes = [index[key] for key in keys if key in index]
+            parent_conn = tuple(sorted(parent.connection_attributes()))
+            parent_codes, parent_tuples = store.codes_for(parent_conn)
+            mask = np.isin(codes, np.asarray(changed_codes, dtype=np.int64))
+            affected = np.unique(parent_codes[mask])
+            keys = {parent_tuples[code] for code in affected.tolist()}
+            node = parent
+        if len(keys) > limit:
+            return None
+        return sorted(keys)
+
+    def _try_delta_refresh(
+        self,
+        node: JoinTreeNode,
+        stale: List[Tuple[ViewSignature, Tuple[Tuple[int, ...], View]]],
+        versions: Tuple[int, ...],
+        plan: BatchPlan,
+        views: Dict[Tuple[str, ViewSignature], View],
+        stats: Optional[Dict[str, int]],
+    ) -> List[ViewSignature]:
+        """Refresh stale cached views in place where a small delta allows it.
+
+        A stale entry qualifies when exactly one relation in the node's
+        subtree changed since it was cached, that relation's change log still
+        covers the gap, and the induced changed-key set at the node stays
+        small.  The node's view is then recomputed only over the rows
+        carrying an affected connection key (with the current child views)
+        and spliced into the cached entries — entries for unaffected keys are
+        untouched by construction, since a row only ever contributes to its
+        own connection key.  Returns the signatures that still need a full
+        compute.
+        """
+        options = self.options
+        if not options.delta_refresh or node.parent is None:
+            return [signature for signature, _entry in stale]
+        names = self._subtree_names[node.relation_name]
+        limit = int(options.delta_refresh_limit)
+        pending: List[ViewSignature] = []
+        # (changed relation, its old version) -> affected conn keys (or None).
+        key_sets: Dict[Tuple[str, int], Optional[List[Tuple]]] = {}
+        groups: Dict[Tuple[str, int], List[Tuple[ViewSignature, View]]] = {}
+        for signature, (old_versions, old_view) in stale:
+            changed = [
+                (name, old)
+                for name, old, new in zip(names, old_versions, versions)
+                if old != new
+            ]
+            if len(changed) != 1:
+                pending.append(signature)
+                continue
+            group_key = changed[0]
+            if group_key not in key_sets:
+                changes = self.database.relation(group_key[0]).changes_since(group_key[1])
+                if changes is None or len(changes) > limit:
+                    key_sets[group_key] = None
+                else:
+                    key_sets[group_key] = self._changed_conn_keys(
+                        node, group_key[0], changes
+                    )
+            if key_sets[group_key] is None:
+                pending.append(signature)
+            else:
+                groups.setdefault(group_key, []).append((signature, old_view))
+
+        for group_key, members in groups.items():
+            changed_keys = key_sets[group_key]
+            assert changed_keys is not None
+            refreshed = self._refresh_key_groups(
+                node, [signature for signature, _view in members], changed_keys, plan, views
+            )
+            changed_set = set(changed_keys)
+            for signature, old_view in members:
+                replacement = refreshed[signature]
+                # The merged dict shares the untouched group dictionaries by
+                # reference (O(conn keys)); the CSR table is patched in array
+                # form so parents keep their vectorised consumption.
+                new_view = PatchedView(
+                    {
+                        key: groups_
+                        for key, groups_ in old_view.items()
+                        if key not in changed_set
+                    }
+                )
+                new_view.update(replacement.items())
+                new_view.patched_table = patch_child_table(
+                    _table_for(old_view), changed_keys, replacement
+                )
+                views[(node.relation_name, signature)] = new_view
+                self._view_cache[(node.relation_name, signature)] = (versions, new_view)
+                self._view_cache.move_to_end((node.relation_name, signature))
+            if stats is not None:
+                stats[STAT_DELTA_REFRESHED] = (
+                    stats.get(STAT_DELTA_REFRESHED, 0) + len(members)
+                )
+        if groups:
+            cache_limit = max(int(options.view_cache_size), 0)
+            while len(self._view_cache) > cache_limit:
+                self._view_cache.popitem(last=False)
+        return pending
+
+    def _refresh_key_groups(
+        self,
+        node: JoinTreeNode,
+        signatures: List[ViewSignature],
+        changed_keys: List[Tuple],
+        plan: BatchPlan,
+        views: Dict[Tuple[str, ViewSignature], View],
+    ) -> Dict[ViewSignature, View]:
+        """Recompute the views of ``node`` restricted to the changed conn keys.
+
+        Builds a sub-relation holding exactly the rows whose connection key
+        is affected and runs the ordinary executor over it with the current
+        child views — the recomputed entries replace the affected keys
+        one-for-one.
+        """
+        relation = self.database.relation(node.relation_name)
+        store = relation.column_store()
+        conn = tuple(sorted(node.connection_attributes()))
+        codes, _tuples = store.codes_for(conn)
+        index = store.key_index(conn)
+        changed_codes = [index[key] for key in changed_keys if key in index]
+        mask = np.isin(codes, np.asarray(changed_codes, dtype=np.int64))
+        sub_relation = Relation(relation.name, relation.schema)
+        multiplicities = store.multiplicities
+        for position in np.nonzero(mask)[0].tolist():
+            sub_relation.add(store.rows[position], int(multiplicities[position]))
+        return compute_node_views(
+            node,
+            sub_relation,
+            signatures,
+            plan.designation,
+            views,
+            specialize=self.options.specialize,
+            share_scans=self.options.share,
+            columnar=self.options.columnar,
+            context_cache=None,
+            stats=None,
+        )
 
     def _nodes_by_depth(self) -> Dict[int, List[JoinTreeNode]]:
         levels: Dict[int, List[JoinTreeNode]] = {}

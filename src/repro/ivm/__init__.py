@@ -11,17 +11,29 @@ join under tuple inserts and deletes:
 * :class:`FIVM` — factorised IVM: one view tree whose payloads live in the
   covariance ring, so a single propagation along a leaf-to-root path maintains
   the entire aggregate batch.
+
+All three strategies share one batched update path:
+:meth:`CovarianceMaintainer.apply_batch` treats a batch as a delta relation —
+multiplicities are netted per tuple, the batch is grouped per relation, and
+each group is propagated through the columnar machinery
+(:class:`~repro.ivm.payload_store.PayloadStore` views,
+:class:`~repro.rings.covariance.CovarianceBlock` ring blocks, and the CSR
+join-key helpers of :mod:`repro.engine.deltas`) in one vectorised pass.
+Single updates fall back to the per-tuple path.
 """
 
-from repro.ivm.base import Update, CovarianceMaintainer
+from repro.ivm.base import Update, CovarianceMaintainer, JoinIndex
 from repro.ivm.first_order import FirstOrderIVM
 from repro.ivm.higher_order import HigherOrderIVM
 from repro.ivm.fivm import FIVM
+from repro.ivm.payload_store import PayloadStore
 
 __all__ = [
     "Update",
     "CovarianceMaintainer",
+    "JoinIndex",
     "FirstOrderIVM",
     "HigherOrderIVM",
     "FIVM",
+    "PayloadStore",
 ]

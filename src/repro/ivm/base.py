@@ -4,6 +4,18 @@ All maintainers keep their own copies of the base relations (starting from an
 initially empty database, as in the paper's streaming experiment), accept
 signed tuple updates, and expose the maintained covariance statistics over the
 continuous features of the feature-extraction join.
+
+Updates arrive one at a time (:meth:`CovarianceMaintainer.apply`) or as
+batches (:meth:`CovarianceMaintainer.apply_batch`).  A batch is itself a
+*delta relation*: :meth:`apply_batch` nets out multiplicities per tuple,
+groups the batch per relation, encodes each group as a delta
+:class:`~repro.data.colstore.ColumnStore`, and hands it to the strategy's
+``_apply_delta_group`` — one vectorised propagation per touched relation
+instead of one Python traversal per tuple.  Grouping is sound because the
+delta effect on any view is *linear* in the delta of a single relation (a
+group's tuples never join against their own relation), and the final state
+is order-independent across relations (every maintainer invariant is a
+function of the base relations alone).
 """
 
 from __future__ import annotations
@@ -14,12 +26,14 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.data.colstore import ColumnStore
 from repro.data.database import Database
 from repro.data.relation import Relation
+from repro.engine.deltas import csr_from_codes, key_codes_for
 from repro.engine.statistics import choose_root
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.join_tree import JoinTree, JoinTreeNode, build_join_tree
-from repro.rings.covariance import CovariancePayload, CovarianceRing
+from repro.rings.covariance import CovarianceBlock, CovariancePayload, CovarianceRing
 
 
 @dataclass(frozen=True)
@@ -32,30 +46,115 @@ class Update:
 
 
 class JoinIndex:
-    """A maintained hash index of a relation on a subset of its attributes."""
+    """A maintained hash index of a relation on a subset of its attributes.
+
+    The buckets are built lazily from the relation's cached column store —
+    one pass over the store's precomputed key codes instead of re-deriving a
+    key tuple per row — and kept in sync incrementally through :meth:`add`
+    (batched callers loop it per applied row; unbuilt indexes absorb updates
+    for free and rebuild from the store on first use).  :meth:`mark_stale`
+    is the explicit escape hatch: it drops the buckets so the next
+    :meth:`lookup` rebuilds them from the relation's current state, for
+    callers that mutated the relation without mirroring every row into the
+    index.
+    """
 
     def __init__(self, relation: Relation, key_attributes: Sequence[str]) -> None:
+        self.relation = relation
         self.key_attributes = tuple(key_attributes)
         self.positions = relation.schema.indices_of(self.key_attributes)
-        self.buckets: Dict[Tuple, Dict[Tuple, int]] = {}
-        for row, multiplicity in relation.items():
-            self.add(row, multiplicity)
+        self._buckets: Optional[Dict[Tuple, Dict[Tuple, int]]] = None
+
+    @property
+    def buckets(self) -> Dict[Tuple, Dict[Tuple, int]]:
+        self._ensure()
+        return self._buckets  # type: ignore[return-value]
+
+    def _ensure(self) -> None:
+        if self._buckets is not None:
+            return
+        store = self.relation.column_store()
+        codes, tuples = store.codes_for(self.key_attributes)
+        per_code: List[Dict[Tuple, int]] = [{} for _ in tuples]
+        multiplicities = store.multiplicities
+        for position, code in enumerate(codes.tolist()):
+            per_code[code][store.rows[position]] = int(multiplicities[position])
+        self._buckets = {
+            key: bucket for key, bucket in zip(tuples, per_code) if bucket
+        }
+
+    def mark_stale(self) -> None:
+        """Drop the buckets; the next lookup rebuilds them from the store."""
+        self._buckets = None
+
+    @property
+    def is_built(self) -> bool:
+        """Whether the buckets exist; unbuilt indexes absorb updates for free."""
+        return self._buckets is not None
 
     def key_of(self, row: Tuple) -> Tuple:
         return tuple(row[position] for position in self.positions)
 
     def add(self, row: Tuple, multiplicity: int) -> None:
-        bucket = self.buckets.setdefault(self.key_of(row), {})
+        if self._buckets is None:
+            # Not built yet: the lazy rebuild will read the relation (which
+            # receives the same update) instead of patching nothing.
+            return
+        bucket = self._buckets.setdefault(self.key_of(row), {})
         updated = bucket.get(row, 0) + multiplicity
         if updated == 0:
             bucket.pop(row, None)
             if not bucket:
-                self.buckets.pop(self.key_of(row), None)
+                self._buckets.pop(self.key_of(row), None)
         else:
             bucket[row] = updated
 
     def lookup(self, key: Tuple) -> Dict[Tuple, int]:
-        return self.buckets.get(key, {})
+        self._ensure()
+        return self._buckets.get(key, {})  # type: ignore[union-attr]
+
+
+def bucket_source(
+    relation: Relation, index: JoinIndex, keys: List[Tuple]
+) -> Tuple[ColumnStore, np.ndarray, np.ndarray, np.ndarray]:
+    """The relation's rows matching ``keys``, in CSR form over a column store.
+
+    Returns ``(store, key_codes, offsets, order)``: ``key_codes[i]`` is the
+    code of ``keys[i]`` in the store's key space (or -1), and
+    ``order[offsets[code] : offsets[code + 1]]`` are the store row positions
+    carrying that key — the shape :func:`repro.engine.deltas.expand_matches`
+    consumes.
+
+    When the relation's cached column store is *fresh*, the CSR covers the
+    full encoding and costs nothing new.  When it is stale (mid-batch, after
+    earlier groups mutated the relation), re-encoding would cost O(rows), so
+    the incrementally maintained :class:`JoinIndex` buckets of exactly the
+    requested keys are concatenated into a small delta store instead — the
+    propagation then only ever pays for the rows it actually joins.
+    """
+    attributes = index.key_attributes
+    store = relation.cached_column_store()
+    if store is not None:
+        row_codes, distinct = store.codes_for(attributes)
+        offsets, order = csr_from_codes(row_codes, len(distinct))
+        return store, key_codes_for(keys, store, attributes), offsets, order
+    rows: List[Tuple] = []
+    multiplicities: List[float] = []
+    offsets = np.zeros(len(keys) + 1, dtype=np.int64)
+    for position, key in enumerate(keys):
+        for row, multiplicity in index.lookup(key).items():
+            rows.append(row)
+            multiplicities.append(float(multiplicity))
+        offsets[position + 1] = len(rows)
+    store = ColumnStore.from_rows(
+        relation.name, relation.schema, rows, np.asarray(multiplicities)
+    )
+    return (
+        store,
+        np.arange(len(keys), dtype=np.int64),
+        offsets,
+        np.arange(len(rows), dtype=np.int64),
+    )
 
 
 class CovarianceMaintainer(abc.ABC):
@@ -104,6 +203,15 @@ class CovarianceMaintainer(abc.ABC):
         self._feature_positions = {
             feature: position for position, feature in enumerate(self.features)
         }
+        # Per relation: (schema position, feature position) of each feature
+        # designated to it — the hot lift paths skip all name resolution.
+        self._lift_plans: Dict[str, List[Tuple[int, int]]] = {}
+        for relation_name in self.query.relation_names:
+            schema = self.database.relation(relation_name).schema
+            self._lift_plans[relation_name] = [
+                (schema.index_of(feature), self._feature_positions[feature])
+                for feature in self.features_of(relation_name)
+            ]
 
     # -- feature designation -----------------------------------------------------------
 
@@ -146,17 +254,29 @@ class CovarianceMaintainer(abc.ABC):
         chain of ring multiplications, which is what a code-specialised engine
         would generate.
         """
-        relation = self.database.relation(relation_name)
-        local_features = self.features_of(relation_name)
-        if not local_features:
+        plan = self._lift_plans[relation_name]
+        if not plan:
             return self.ring.one()
         sums = np.zeros(len(self.features))
-        for feature in local_features:
-            position = relation.schema.index_of(feature)
-            sums[self._feature_positions[feature]] = float(row[position])
+        for source, target in plan:
+            sums[target] = float(row[source])
         return CovariancePayload(1.0, sums, np.outer(sums, sums))
 
     # -- update protocol -----------------------------------------------------------------
+
+    #: Strategies overriding ``_apply_delta_group`` flip this on; the base
+    #: ``apply_batch`` then takes the grouped, columnar path for real batches.
+    supports_batch_deltas = False
+
+    def _validate(self, update: Update) -> None:
+        """Check the update's row arity against the relation schema."""
+        relation = self.database.relation(update.relation_name)
+        if len(update.row) != relation.arity:
+            raise ValueError(
+                f"update row {update.row!r} has arity {len(update.row)}, but "
+                f"relation {update.relation_name!r} has schema "
+                f"{list(relation.schema.names)} (arity {relation.arity})"
+            )
 
     def apply(self, update: Update) -> None:
         """Apply one signed tuple update.
@@ -166,19 +286,86 @@ class CovarianceMaintainer(abc.ABC):
         engines holding columnar contexts over the maintained database
         re-encode lazily on their next evaluation.
         """
+        self._validate(update)
         self._apply_update(update)
         self.database.relation(update.relation_name).add(update.row, update.multiplicity)
 
     def apply_batch(self, updates: Iterable[Update]) -> int:
-        count = 0
+        """Apply a stream of updates, propagating whole per-relation deltas.
+
+        The batch is netted out per (relation, row) — an insert/delete pair
+        inside one batch cancels — and grouped per relation; each group is
+        applied through the strategy's vectorised ``_apply_delta_group`` (one
+        delta propagation for the whole group), after which the group's rows
+        land in the base relation.  Strategies without a batched path, and
+        single-update batches, fall back to the per-tuple :meth:`apply`.
+        """
+        updates = list(updates)
+        if len(updates) < 2 or not self.supports_batch_deltas:
+            for update in updates:
+                self.apply(update)
+            return len(updates)
+        arities: Dict[str, int] = {}
+        grouped: Dict[str, Dict[Tuple, int]] = {}
         for update in updates:
-            self.apply(update)
-            count += 1
-        return count
+            arity = arities.get(update.relation_name)
+            if arity is None:
+                arity = self.database.relation(update.relation_name).arity
+                arities[update.relation_name] = arity
+            if len(update.row) != arity:
+                self._validate(update)  # raises with the detailed message
+            bucket = grouped.setdefault(update.relation_name, {})
+            bucket[update.row] = bucket.get(update.row, 0) + update.multiplicity
+        for relation_name, bucket in grouped.items():
+            rows = [row for row, multiplicity in bucket.items() if multiplicity != 0]
+            if not rows:
+                continue
+            multiplicities = np.asarray(
+                [bucket[row] for row in rows], dtype=np.float64
+            )
+            self._apply_delta_group(relation_name, rows, multiplicities)
+            self.database.relation(relation_name).add_batch(
+                rows, [int(multiplicity) for multiplicity in multiplicities]
+            )
+            self._after_delta_group(relation_name, rows, multiplicities)
+        return len(updates)
 
     @abc.abstractmethod
     def _apply_update(self, update: Update) -> None:
         """Strategy-specific maintenance, run before the base relation changes."""
+
+    def _apply_delta_group(
+        self, relation_name: str, rows: List[Tuple], multiplicities: np.ndarray
+    ) -> None:
+        """Strategy-specific batched maintenance for one relation's delta.
+
+        Run before the group's rows reach the base relation, exactly like
+        ``_apply_update``; only called when ``supports_batch_deltas`` is on.
+        """
+        raise NotImplementedError
+
+    def _after_delta_group(
+        self, relation_name: str, rows: List[Tuple], multiplicities: np.ndarray
+    ) -> None:
+        """Hook run after a group's rows landed in the base relation.
+
+        Strategies use it to keep their incremental join indexes over the
+        updated relation in sync (one cheap dictionary update per row), so
+        later groups and per-tuple updates see the applied delta without an
+        O(rows) index rebuild.
+        """
+
+    # -- columnar delta helpers -----------------------------------------------------------
+
+    def _delta_store(
+        self, relation_name: str, rows: List[Tuple], multiplicities: np.ndarray
+    ) -> ColumnStore:
+        """Encode one per-relation update group as a delta column store."""
+        relation = self.database.relation(relation_name)
+        return ColumnStore.from_rows(
+            relation.name, relation.schema, rows, multiplicities
+        )
+
 
     @abc.abstractmethod
     def statistics(self) -> CovariancePayload:

@@ -4,15 +4,29 @@ Used by the first-order and higher-order IVM strategies to turn one update of
 a base relation into the corresponding delta of the feature-extraction join.
 The expansion walks the join tree outwards from the updated relation, probing
 maintained hash indexes on the edge attributes.
+
+Two code paths share the walk order:
+
+- :meth:`DeltaJoiner.expand` — the per-tuple path: one delta tuple becomes a
+  list of assignment dictionaries;
+- :meth:`DeltaJoiner.expand_columnar` — the batched path: a whole delta
+  :class:`~repro.data.colstore.ColumnStore` is joined hop by hop against the
+  base relations' column stores through the CSR machinery of
+  :mod:`repro.engine.deltas`, and the requested attributes come back as
+  float arrays over the expanded join delta — no per-row Python.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.data.colstore import ColumnStore
 from repro.data.database import Database
 from repro.data.relation import Relation
-from repro.ivm.base import JoinIndex
+from repro.engine.deltas import expand_matches
+from repro.ivm.base import JoinIndex, bucket_source
 from repro.query.join_tree import JoinTree, JoinTreeNode
 
 Assignment = Dict[str, object]
@@ -52,6 +66,15 @@ class DeltaJoiner:
             if indexed_relation == relation_name:
                 index.add(row, multiplicity)
 
+    def register_batch(
+        self, relation_name: str, rows: Sequence[Tuple], multiplicities
+    ) -> None:
+        """Keep the edge indexes in sync with one applied delta group."""
+        for (indexed_relation, _key), index in self._indexes.items():
+            if indexed_relation == relation_name and index.is_built:
+                for row, multiplicity in zip(rows, multiplicities):
+                    index.add(row, int(multiplicity))
+
     def expand(
         self, relation_name: str, row: Tuple, multiplicity: int
     ) -> List[Tuple[Assignment, int]]:
@@ -80,3 +103,87 @@ class DeltaJoiner:
                         expanded.append((merged, mult * other_mult))
                 assignments = expanded
         return assignments
+
+    def expand_columnar(
+        self,
+        relation_name: str,
+        delta_store: ColumnStore,
+        attributes: Sequence[str],
+        hop_cache: Optional[Dict] = None,
+    ) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
+        """The join delta of a whole delta store, as float columns.
+
+        Walks the same edges as :meth:`expand`, but joins the delta against
+        each neighbouring relation in key-code space: the neighbour's rows
+        come CSR-grouped from :func:`~repro.ivm.base.bucket_source` (the full
+        cached column store when fresh, the maintained edge-index buckets of
+        the delta's keys otherwise), and the expansion is one ``np.repeat``
+        gather per hop.  Returns the requested ``attributes`` decoded to
+        float64 over the expanded rows plus the expanded signed
+        multiplicities.
+
+        ``hop_cache`` (a plain dict owned by the caller) memoises the
+        per-hop bucket sources across repeated expansions of the *same*
+        delta — first-order IVM re-expands once per aggregate, but the
+        physical index lookups behind the expansions are shared, exactly as
+        the maintained indexes themselves are in the per-tuple path.
+        """
+        # Per visited relation: (its store, expanded row index into the store).
+        sources: Dict[str, Tuple[ColumnStore, np.ndarray]] = {
+            relation_name: (
+                delta_store,
+                np.arange(delta_store.row_count, dtype=np.int64),
+            )
+        }
+        multiplicities = delta_store.multiplicities.copy()
+        visited = {relation_name}
+        frontier = [relation_name]
+        while frontier:
+            current = frontier.pop()
+            current_store = sources[current][0]
+            for neighbour_name, shared in self._adjacency[current]:
+                if neighbour_name in visited:
+                    continue
+                visited.add(neighbour_name)
+                frontier.append(neighbour_name)
+                current_codes, current_distinct = current_store.codes_for(shared)
+                cache_key = (current, neighbour_name, shared)
+                cached = None if hop_cache is None else hop_cache.get(cache_key)
+                if cached is None:
+                    cached = bucket_source(
+                        self.database.relation(neighbour_name),
+                        self._ensure_index(neighbour_name, shared),
+                        current_distinct,
+                    )
+                    if hop_cache is not None:
+                        hop_cache[cache_key] = cached
+                neighbour_store, key_codes, offsets, order = cached
+                current_rows = sources[current][1]
+                item_codes = key_codes[current_codes[current_rows]]
+                item_index, member_rows = expand_matches(item_codes, offsets, order)
+                multiplicities = (
+                    multiplicities[item_index]
+                    * neighbour_store.multiplicities[member_rows]
+                )
+                sources = {
+                    name: (store, rows[item_index])
+                    for name, (store, rows) in sources.items()
+                }
+                sources[neighbour_name] = (neighbour_store, member_rows)
+
+        columns: Dict[str, np.ndarray] = {}
+        for attribute in attributes:
+            if attribute in columns:
+                continue
+            for name, (store, rows) in sources.items():
+                if attribute in store.schema:
+                    column = store.float_column(attribute)
+                    if column is None:
+                        raise ValueError(
+                            f"attribute {attribute!r} of relation {name!r} is not numeric"
+                        )
+                    columns[attribute] = column[rows]
+                    break
+            else:
+                raise ValueError(f"attribute {attribute!r} does not occur in the join")
+        return columns, multiplicities

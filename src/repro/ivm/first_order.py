@@ -24,6 +24,8 @@ from repro.rings.covariance import CovariancePayload
 class FirstOrderIVM(CovarianceMaintainer):
     """Per-aggregate delta processing against the base relations."""
 
+    supports_batch_deltas = True
+
     def __init__(
         self,
         schema_database: Database,
@@ -76,6 +78,42 @@ class FirstOrderIVM(CovarianceMaintainer):
 
     def _expand(self, update: Update) -> List[Tuple[Dict[str, object], int]]:
         return self._joiner.expand(update.relation_name, update.row, update.multiplicity)
+
+    def _apply_delta_group(self, relation_name, rows, multiplicities) -> None:
+        # The batched path keeps first-order IVM's defining inefficiency —
+        # one delta-join expansion per maintained aggregate — but runs every
+        # expansion vectorised over the whole group.
+        delta_store = self._delta_store(relation_name, rows, multiplicities)
+        dimension = len(self.features)
+        hop_cache: Dict = {}
+
+        _columns, mults = self._joiner.expand_columnar(
+            relation_name, delta_store, (), hop_cache
+        )
+        self._count += float(mults.sum())
+
+        for position, feature in enumerate(self.features):
+            columns, mults = self._joiner.expand_columnar(
+                relation_name, delta_store, (feature,), hop_cache
+            )
+            self._sums[position] += float(columns[feature] @ mults)
+
+        for left in range(dimension):
+            for right in range(left, dimension):
+                left_feature = self.features[left]
+                right_feature = self.features[right]
+                columns, mults = self._joiner.expand_columnar(
+                    relation_name, delta_store, (left_feature, right_feature), hop_cache
+                )
+                delta_moment = float(
+                    np.sum(columns[left_feature] * columns[right_feature] * mults)
+                )
+                self._moments[left, right] += delta_moment
+                if left != right:
+                    self._moments[right, left] += delta_moment
+
+    def _after_delta_group(self, relation_name, rows, multiplicities) -> None:
+        self._joiner.register_batch(relation_name, rows, multiplicities)
 
     # -- results ------------------------------------------------------------------------
 

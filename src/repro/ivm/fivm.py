@@ -8,21 +8,96 @@ tuple and the children's current payloads, then propagated upwards.  Because
 the payload carries the entire covariance-matrix batch, one propagation
 maintains every aggregate at once — the cross-aggregate sharing responsible
 for the throughput gap in Figure 4 (right).
+
+The views are columnar :class:`~repro.ivm.payload_store.PayloadStore`\\ s
+(key dictionary + stacked count/sums/quadratic arrays), so the maintainer has
+two equivalent code paths over one state:
+
+- **per-tuple** (``apply``): the seed's leaf-to-root walk, probing and
+  updating single slots;
+- **batched** (``apply_batch``): a whole per-relation update group is lifted
+  into one :class:`~repro.rings.covariance.CovarianceBlock`, joined against
+  the child views by key codes, and propagated to the root through the
+  per-parent :class:`~repro.data.colstore.DeltaColumnStore` mirrors —
+  append-only columnar encodings whose per-key row buckets play the role of
+  the executor's CSR tables, kept current incrementally so a hop never pays
+  an O(rows) re-encode.  The same factorised delta rule, with every ring
+  operation vectorised over the group.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.data.colstore import DeltaColumnStore
 from repro.data.database import Database
 from repro.ivm.base import CovarianceMaintainer, JoinIndex, Update
+from repro.ivm.payload_store import PayloadStore
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.join_tree import JoinTreeNode
-from repro.rings.covariance import CovariancePayload
+from repro.rings.covariance import CovarianceBlock, CovariancePayload
+
+
+class _SlotMap:
+    """Mirror key code -> payload-store slot, maintained incrementally.
+
+    Store slots never move once assigned (keys are never evicted), so a
+    resolved entry stays valid forever; only the ``-1`` misses are re-probed,
+    and only when the target view has gained keys since the last lookup.
+    """
+
+    __slots__ = ("view", "mapping", "size", "view_len")
+
+    def __init__(self, view: "PayloadStore") -> None:
+        self.view = view
+        self.mapping = np.full(16, -1, dtype=np.int64)
+        self.size = 0
+        self.view_len = -1
+
+    def lookup(self, key_list: List[Tuple]) -> np.ndarray:
+        view = self.view
+        needed = len(key_list)
+        if needed > self.size:
+            if needed > self.mapping.shape[0]:
+                capacity = self.mapping.shape[0]
+                while capacity < needed:
+                    capacity *= 2
+                grown = np.full(capacity, -1, dtype=np.int64)
+                grown[: self.size] = self.mapping[: self.size]
+                self.mapping = grown
+            self.mapping[self.size : needed] = view.slots_for(key_list[self.size :])
+            self.size = needed
+        if len(view) != self.view_len:
+            missing = np.nonzero(self.mapping[: self.size] == -1)[0]
+            if missing.size:
+                self.mapping[missing] = view.slots_for(
+                    [key_list[position] for position in missing.tolist()]
+                )
+            self.view_len = len(view)
+        return self.mapping[: self.size]
+
+
+def _compact_codes(codes: np.ndarray, space: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Renumber ``codes`` densely over the values actually present.
+
+    Returns ``(compact, present)``: ``present`` lists the distinct original
+    codes in increasing order and ``compact`` maps every input to its index
+    in ``present`` — a bincount-based replacement for ``np.unique`` that
+    avoids a sort when the code space is known and small.
+    """
+    counts = np.bincount(codes, minlength=space)
+    present = np.nonzero(counts)[0]
+    mapping = np.full(space, -1, dtype=np.int64)
+    mapping[present] = np.arange(present.size, dtype=np.int64)
+    return mapping[codes], present
 
 
 class FIVM(CovarianceMaintainer):
     """Factorised IVM over a view tree with covariance-ring payloads."""
+
+    supports_batch_deltas = True
 
     def __init__(
         self,
@@ -34,11 +109,12 @@ class FIVM(CovarianceMaintainer):
     ) -> None:
         super().__init__(schema_database, query, features, root_relation, root_strategy)
         # One payload view per node: join key -> covariance payload of the subtree.
-        self._views: Dict[str, Dict[Tuple, CovariancePayload]] = {
-            node.relation_name: {} for node in self.join_tree.nodes()
+        self._views: Dict[str, PayloadStore] = {
+            node.relation_name: PayloadStore(len(self.features))
+            for node in self.join_tree.nodes()
         }
         # For every non-root node, an index of its parent's relation on the
-        # node's connection attributes, used for upward delta propagation.
+        # node's connection attributes, used by the per-tuple delta path.
         self._parent_indexes: Dict[str, JoinIndex] = {}
         for node in self.join_tree.nodes():
             if node.parent is not None:
@@ -46,11 +122,13 @@ class FIVM(CovarianceMaintainer):
                 self._parent_indexes[node.relation_name] = JoinIndex(
                     self.database.relation(node.parent.relation_name), conn
                 )
-        # Pre-resolved key positions per node.
+        # Per node: its sorted connection attributes and their positions.
+        self._conn_attrs: Dict[str, Tuple[str, ...]] = {}
         self._conn_positions: Dict[str, List[int]] = {}
         for node in self.join_tree.nodes():
             relation = self.database.relation(node.relation_name)
-            conn = sorted(node.connection_attributes())
+            conn = tuple(sorted(node.connection_attributes()))
+            self._conn_attrs[node.relation_name] = conn
             self._conn_positions[node.relation_name] = [
                 relation.schema.index_of(attribute) for attribute in conn
             ]
@@ -63,6 +141,28 @@ class FIVM(CovarianceMaintainer):
                 self._child_key_positions[(node.relation_name, child.relation_name)] = [
                     relation.schema.index_of(attribute) for attribute in conn
                 ]
+        # The batched path's columnar mirrors: one append-only delta store per
+        # *parent* relation (the propagation only ever joins against parents;
+        # leaves have no readers), with the designated features and every key
+        # the propagation joins on (the node's own connection key plus each
+        # child's) registered up front.  Both update paths append to them, so
+        # a batch never pays an O(rows) re-encode of a mutated relation.
+        self._mirrors: Dict[str, DeltaColumnStore] = {}
+        for node in self.join_tree.nodes():
+            if not node.children:
+                continue
+            relation = self.database.relation(node.relation_name)
+            mirror = DeltaColumnStore(relation.name, relation.schema)
+            for feature in self.features_of(node.relation_name):
+                mirror.register_float(feature)
+            # The node's own connection key only ever groups contributions;
+            # each child's key is joined against, so it tracks row buckets.
+            mirror.register_key(self._conn_attrs[node.relation_name], track_buckets=False)
+            for child in node.children:
+                mirror.register_key(self._conn_attrs[child.relation_name])
+            self._mirrors[node.relation_name] = mirror
+        # (parent, sibling) -> cached mirror-key-code -> sibling-view-slot map.
+        self._slot_maps: Dict[Tuple[str, str], _SlotMap] = {}
 
     # -- helpers ------------------------------------------------------------------------------
 
@@ -82,18 +182,14 @@ class FIVM(CovarianceMaintainer):
             if skip_child is not None and child.relation_name == skip_child:
                 continue
             key = self._child_key(node.relation_name, child.relation_name, row)
-            child_payload = self._views[child.relation_name].get(key)
+            # peek aliases the store arrays; ring.multiply only reads them.
+            child_payload = self._views[child.relation_name].peek(key)
             if child_payload is None:
                 return None
             payload = self.ring.multiply(payload, child_payload)
         return payload
 
-    def _add_to_view(self, relation_name: str, key: Tuple, payload: CovariancePayload) -> None:
-        view = self._views[relation_name]
-        existing = view.get(key)
-        view[key] = payload if existing is None else self.ring.add(existing, payload)
-
-    # -- maintenance ----------------------------------------------------------------------------
+    # -- per-tuple maintenance ------------------------------------------------------------------
 
     def _apply_update(self, update: Update) -> None:
         node = self.join_tree.node(update.relation_name)
@@ -109,12 +205,12 @@ class FIVM(CovarianceMaintainer):
         current_node = node
         current_delta = delta
         while current_delta:
+            view = self._views[current_node.relation_name]
             for key, payload in current_delta.items():
-                self._add_to_view(current_node.relation_name, key, payload)
+                view.add(key, payload)
             parent = current_node.parent
             if parent is None:
                 break
-            parent_relation = self.database.relation(parent.relation_name)
             index = self._parent_indexes[current_node.relation_name]
             next_delta: Dict[Tuple, CovariancePayload] = {}
             for key, payload in current_delta.items():
@@ -140,17 +236,186 @@ class FIVM(CovarianceMaintainer):
             current_node = parent
             current_delta = next_delta
 
-        # Keep the propagation indexes in sync with the base-relation change.
+        # Keep the propagation indexes and the columnar mirror in sync with
+        # the base-relation change.
         for child_name, index in self._parent_indexes.items():
-            parent_name = self.join_tree.node(child_name).parent.relation_name  # type: ignore[union-attr]
-            if parent_name == update.relation_name:
+            if index.relation.name == update.relation_name:
                 index.add(update.row, update.multiplicity)
+        mirror = self._mirrors.get(update.relation_name)
+        if mirror is not None:
+            mirror.append_rows([update.row], [update.multiplicity])
+
+    # -- batched maintenance --------------------------------------------------------------------
+
+    def _apply_delta_group(
+        self, relation_name: str, rows: List[Tuple], multiplicities: np.ndarray
+    ) -> None:
+        node = self.join_tree.node(relation_name)
+
+        # Lift the whole group in one block (scaled by its multiplicities).
+        features = np.zeros((len(rows), len(self.features)))
+        for source, target in self._lift_plans[relation_name]:
+            features[:, target] = [float(row[source]) for row in rows]
+        block = CovarianceBlock.lift(features, multiplicities)
+
+        # Join the lifted delta against the children's views (one slot probe
+        # per row); rows whose key misses any child view produce no delta.
+        alive = np.arange(len(rows), dtype=np.int64)
+        gathers: List[Tuple[PayloadStore, np.ndarray]] = []
+        for child in node.children:
+            positions = self._child_key_positions[(relation_name, child.relation_name)]
+            view = self._views[child.relation_name]
+            if len(positions) == 1:
+                position = positions[0]
+                row_keys = [(row[position],) for row in rows]
+            else:
+                row_keys = [
+                    tuple(row[position] for position in positions) for row in rows
+                ]
+            slots = view.slots_for(row_keys)
+            live = slots >= 0
+            if not live.all():
+                alive = alive[live[alive]]
+            gathers.append((view, slots))
+        if alive.size == 0:
+            return
+        if alive.size < len(rows):
+            block = block.take(alive)
+        for view, slots in gathers:
+            block = block.multiply(view.gather(slots[alive]))
+
+        # Group the surviving delta rows by the node's connection key.
+        conn_positions = self._conn_positions[relation_name]
+        key_index: Dict[object, int] = {}
+        delta_keys: List[Tuple] = []
+        codes = np.empty(alive.size, dtype=np.int64)
+        scalar = len(conn_positions) == 1
+        for output, position in enumerate(alive.tolist()):
+            row = rows[position]
+            if scalar:
+                probe = row[conn_positions[0]]
+            else:
+                probe = tuple(row[index] for index in conn_positions)
+            code = key_index.get(probe)
+            if code is None:
+                code = len(delta_keys)
+                key_index[probe] = code
+                delta_keys.append((probe,) if scalar else probe)
+            codes[output] = code
+        delta_block = block.segment_sum(codes, len(delta_keys))
+        self._propagate(node, delta_keys, delta_block)
+
+    def _multiply_mirror_lift(
+        self,
+        block: CovarianceBlock,
+        relation_name: str,
+        mirror: DeltaColumnStore,
+        positions: np.ndarray,
+    ) -> CovarianceBlock:
+        """``block[i] * scale(lift(entry i), multiplicity of entry i)``.
+
+        Relations with no designated features lift to scaled ones, so the
+        whole multiply collapses to a scale.  Large matched sets take the
+        fused sparse-lift product (fewer FLOPs: no dense outer products);
+        small ones materialise the lifted block and use the general multiply,
+        whose handful of whole-array operations beats the fused path's many
+        small ones when the per-call overhead dominates.
+        """
+        multiplicities = mirror.multiplicities[positions]
+        local_features = self.features_of(relation_name)
+        if not local_features:
+            return block.scale(multiplicities)
+        feature_positions = [
+            self._feature_positions[feature] for feature in local_features
+        ]
+        features = np.zeros((positions.size, len(self.features)))
+        for feature, target in zip(local_features, feature_positions):
+            features[:, target] = mirror.float_column(feature)[positions]
+        if positions.size >= 512:
+            return block.multiply_lifted(features, multiplicities, feature_positions)
+        return block.multiply(CovarianceBlock.lift(features, multiplicities))
+
+    def _propagate(
+        self, node: JoinTreeNode, keys: List[Tuple], block: CovarianceBlock
+    ) -> None:
+        """Add a keyed delta block to ``node``'s view and push it to the root.
+
+        Each hop joins the delta keys against the parent relation's columnar
+        mirror: the mirror's per-key buckets (maintained incrementally, so no
+        re-encode after mutations) expand the delta to the matched parent
+        entries via one ``np.repeat``, the matched entries are lifted in one
+        block, the sibling views are gathered by key code, and the result is
+        segment-summed by the parent's own connection key — the per-tuple
+        delta rule with every step over whole arrays.
+        """
+        while True:
+            self._views[node.relation_name].scatter_add(keys, block)
+            parent = node.parent
+            if parent is None:
+                return
+            mirror = self._mirrors[parent.relation_name]
+            offsets, positions = mirror.buckets_for(
+                self._conn_attrs[node.relation_name], keys
+            )
+            if positions.size == 0:
+                return
+            item_index = np.repeat(
+                np.arange(len(keys), dtype=np.int64), np.diff(offsets)
+            )
+            contribution = self._multiply_mirror_lift(
+                block.take(item_index), parent.relation_name, mirror, positions
+            )
+
+            # Multiply in the other children's payloads at the matched entries.
+            alive = np.arange(positions.size, dtype=np.int64)
+            gathers: List[Tuple[PayloadStore, np.ndarray]] = []
+            for sibling in parent.children:
+                if sibling is node:
+                    continue
+                codes, key_list = mirror.key_codes(
+                    self._conn_attrs[sibling.relation_name]
+                )
+                view = self._views[sibling.relation_name]
+                map_key = (parent.relation_name, sibling.relation_name)
+                slot_map = self._slot_maps.get(map_key)
+                if slot_map is None:
+                    slot_map = _SlotMap(view)
+                    self._slot_maps[map_key] = slot_map
+                slots = slot_map.lookup(key_list)[codes[positions]]
+                live = slots >= 0
+                if not live.all():
+                    alive = alive[live[alive]]
+                gathers.append((view, slots))
+            if alive.size == 0:
+                return
+            if alive.size < positions.size:
+                contribution = contribution.take(alive)
+                positions = positions[alive]
+            for view, slots in gathers:
+                contribution = contribution.multiply(view.gather(slots[alive]))
+
+            conn_codes, conn_keys = mirror.key_codes(
+                self._conn_attrs[parent.relation_name]
+            )
+            compact, present = _compact_codes(conn_codes[positions], len(conn_keys))
+            block = contribution.segment_sum(compact, present.size)
+            keys = [conn_keys[code] for code in present.tolist()]
+            node = parent
+
+    def _after_delta_group(self, relation_name, rows, multiplicities) -> None:
+        for index in self._parent_indexes.values():
+            if index.relation.name == relation_name and index.is_built:
+                for row, multiplicity in zip(rows, multiplicities):
+                    index.add(row, int(multiplicity))
+        mirror = self._mirrors.get(relation_name)
+        if mirror is not None:
+            mirror.append_rows(rows, multiplicities)
 
     # -- results -----------------------------------------------------------------------------------
 
     def statistics(self) -> CovariancePayload:
-        root_view = self._views[self.join_tree.root.relation_name]
-        return root_view.get((), self.ring.zero()).copy()
+        payload = self._views[self.join_tree.root.relation_name].get(())
+        return payload if payload is not None else self.ring.zero()
 
     def view_sizes(self) -> Dict[str, int]:
         """Number of keys per maintained payload view (they stay small)."""

@@ -29,6 +29,8 @@ from repro.rings.covariance import CovariancePayload
 class HigherOrderIVM(CovarianceMaintainer):
     """Shared delta join + materialised join view, per-aggregate updates."""
 
+    supports_batch_deltas = True
+
     def __init__(
         self,
         schema_database: Database,
@@ -90,6 +92,56 @@ class HigherOrderIVM(CovarianceMaintainer):
                     self._moments[right, left] += delta_moment
 
         self._joiner.register_update(update.relation_name, update.row, update.multiplicity)
+
+    def _apply_delta_group(self, relation_name, rows, multiplicities) -> None:
+        # One shared vectorised expansion for the whole group (the
+        # higher-order benefit)...
+        delta_store = self._delta_store(relation_name, rows, multiplicities)
+        columns, mults = self._joiner.expand_columnar(
+            relation_name, delta_store, tuple(self.features)
+        )
+        if mults.size == 0:
+            return
+
+        # ...maintain the materialised view (grouped once, scanned once)...
+        if self.features:
+            stacked = np.stack([columns[feature] for feature in self.features], axis=1)
+            uniques, inverse = np.unique(stacked, axis=0, return_inverse=True)
+            totals = np.bincount(
+                inverse.reshape(-1), weights=mults, minlength=uniques.shape[0]
+            )
+            distinct_keys = [tuple(values) for values in uniques.tolist()]
+        else:
+            totals = np.asarray([mults.sum()])
+            distinct_keys = [()]
+        for key, total in zip(distinct_keys, totals.tolist()):
+            delta = int(round(total))
+            if delta == 0:
+                continue
+            updated = self._materialized_join.get(key, 0) + delta
+            if updated == 0:
+                self._materialized_join.pop(key, None)
+            else:
+                self._materialized_join[key] = updated
+
+        # ...but each aggregate of the batch still scans the delta separately.
+        dimension = len(self.features)
+        self._count += float(mults.sum())
+        for position, feature in enumerate(self.features):
+            self._sums[position] += float(columns[feature] @ mults)
+        for left in range(dimension):
+            for right in range(left, dimension):
+                left_feature = self.features[left]
+                right_feature = self.features[right]
+                delta_moment = float(
+                    np.sum(columns[left_feature] * columns[right_feature] * mults)
+                )
+                self._moments[left, right] += delta_moment
+                if left != right:
+                    self._moments[right, left] += delta_moment
+
+    def _after_delta_group(self, relation_name, rows, multiplicities) -> None:
+        self._joiner.register_batch(relation_name, rows, multiplicities)
 
     # -- results ----------------------------------------------------------------------------------
 

@@ -10,12 +10,20 @@ an n x n matrix of sums of products.  The ring operations are
 with ``0 = (0, 0, 0)`` and ``1 = (1, 0, 0)``.  Evaluating a factorised join in
 this ring computes SUM(1), SUM(x_i) and SUM(x_i * x_j) for all feature pairs in
 a single pass, sharing all partial results across the batch.
+
+Besides the scalar :class:`CovariancePayload`, the module provides
+:class:`CovarianceBlock` — a *stack* of ring elements held as three aligned
+numpy arrays (``counts (k,)``, ``sums (k, d)``, ``moments (k, d, d)``) with
+the ring operations vectorised over the whole stack.  The batched IVM path
+(see :mod:`repro.ivm`) represents the payloads of an entire delta relation as
+one block, so a batch of updates is added, multiplied and segment-summed
+through the view tree without any per-tuple Python.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -144,3 +152,166 @@ class CovarianceRing(Ring):
                 CovariancePayload(1.0, vector.copy(), np.outer(vector, vector)),
             )
         return total
+
+
+class CovarianceBlock:
+    """A stack of ``k`` covariance-ring elements as three aligned arrays.
+
+    ``counts`` has shape ``(k,)``, ``sums`` shape ``(k, d)`` and ``moments``
+    shape ``(k, d, d)``.  All ring operations act elementwise over the stack,
+    so a whole delta relation's payloads move through one numpy expression
+    instead of ``k`` :class:`CovariancePayload` objects.
+    """
+
+    __slots__ = ("counts", "sums", "moments")
+
+    def __init__(self, counts: np.ndarray, sums: np.ndarray, moments: np.ndarray) -> None:
+        self.counts = counts
+        self.sums = sums
+        self.moments = moments
+
+    def __len__(self) -> int:
+        return int(self.counts.shape[0])
+
+    @property
+    def dimension(self) -> int:
+        return int(self.sums.shape[1])
+
+    # -- constructors --------------------------------------------------------------------
+
+    @staticmethod
+    def zeros(size: int, dimension: int) -> "CovarianceBlock":
+        return CovarianceBlock(
+            np.zeros(size),
+            np.zeros((size, dimension)),
+            np.zeros((size, dimension, dimension)),
+        )
+
+    @staticmethod
+    def ones(size: int, dimension: int) -> "CovarianceBlock":
+        return CovarianceBlock(
+            np.ones(size),
+            np.zeros((size, dimension)),
+            np.zeros((size, dimension, dimension)),
+        )
+
+    @staticmethod
+    def lift(features: np.ndarray, multiplicities: Optional[np.ndarray] = None) -> "CovarianceBlock":
+        """Lift a ``(k, d)`` feature matrix row-wise into the ring.
+
+        Row ``i`` becomes ``multiplicities[i] * (1, features[i],
+        features[i] features[i]^T)`` — the payload of one tuple carrying those
+        feature values, pre-scaled by its multiplicity.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        moments = np.einsum("ki,kj->kij", features, features)
+        if multiplicities is None:
+            return CovarianceBlock(np.ones(features.shape[0]), features, moments)
+        weights = np.asarray(multiplicities, dtype=np.float64)
+        return CovarianceBlock(
+            weights.copy(),
+            features * weights[:, None],
+            moments * weights[:, None, None],
+        )
+
+    # -- elementwise ring operations -----------------------------------------------------
+
+    def add(self, other: "CovarianceBlock") -> "CovarianceBlock":
+        return CovarianceBlock(
+            self.counts + other.counts,
+            self.sums + other.sums,
+            self.moments + other.moments,
+        )
+
+    def multiply(self, other: "CovarianceBlock") -> "CovarianceBlock":
+        """Elementwise ring product: row ``i`` is ``self[i] * other[i]``."""
+        outer = np.einsum("ki,kj->kij", self.sums, other.sums)
+        return CovarianceBlock(
+            self.counts * other.counts,
+            other.counts[:, None] * self.sums + self.counts[:, None] * other.sums,
+            other.counts[:, None, None] * self.moments
+            + self.counts[:, None, None] * other.moments
+            + outer
+            + outer.transpose(0, 2, 1),
+        )
+
+    def multiply_lifted(
+        self,
+        features: np.ndarray,
+        multiplicities: np.ndarray,
+        positions: Sequence[int],
+    ) -> "CovarianceBlock":
+        """Fused ``self[i] * scale(lift(features[i]), multiplicities[i])``.
+
+        ``features`` is ``(k, d)`` but nonzero only in the columns listed in
+        ``positions`` — the lift of one relation touches only its designated
+        features — so the outer products of the general :meth:`multiply`
+        collapse to a handful of row/column updates instead of a full
+        ``(k, d, d)`` einsum.
+        """
+        weights = np.asarray(multiplicities, dtype=np.float64)
+        counts = self.counts * weights
+        sums = self.sums * weights[:, None]
+        moments = self.moments * weights[:, None, None]
+        base_counts = self.counts
+        base_sums = self.sums
+        for row in positions:
+            lifted = weights * features[:, row]
+            sums[:, row] += base_counts * lifted
+            moments[:, :, row] += base_sums * lifted[:, None]
+            moments[:, row, :] += base_sums * lifted[:, None]
+            for column in positions:
+                moments[:, row, column] += base_counts * lifted * features[:, column]
+        return CovarianceBlock(counts, sums, moments)
+
+    def scale(self, factors: np.ndarray) -> "CovarianceBlock":
+        factors = np.asarray(factors, dtype=np.float64)
+        return CovarianceBlock(
+            self.counts * factors,
+            self.sums * factors[:, None],
+            self.moments * factors[:, None, None],
+        )
+
+    def take(self, indices: np.ndarray) -> "CovarianceBlock":
+        """Gather a sub-stack by row indices."""
+        return CovarianceBlock(
+            self.counts[indices], self.sums[indices], self.moments[indices]
+        )
+
+    # -- aggregation ---------------------------------------------------------------------
+
+    def segment_sum(self, codes: np.ndarray, size: int) -> "CovarianceBlock":
+        """Sum the stack rows into ``size`` groups given by ``codes``.
+
+        The rows are sorted by group code once and then reduced with
+        ``np.add.reduceat`` — no per-row Python, and much faster than
+        ``np.add.at`` for wide payloads.
+        """
+        out = CovarianceBlock.zeros(size, self.dimension)
+        if len(self) == 0:
+            return out
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        boundaries = np.concatenate(
+            ([0], np.nonzero(np.diff(sorted_codes))[0] + 1)
+        )
+        groups = sorted_codes[boundaries]
+        out.counts[groups] = np.add.reduceat(self.counts[order], boundaries)
+        out.sums[groups] = np.add.reduceat(self.sums[order], boundaries, axis=0)
+        out.moments[groups] = np.add.reduceat(self.moments[order], boundaries, axis=0)
+        return out
+
+    def total(self) -> CovariancePayload:
+        """The ring sum of every row, as one scalar payload."""
+        return CovariancePayload(
+            float(self.counts.sum()),
+            self.sums.sum(axis=0),
+            self.moments.sum(axis=0),
+        )
+
+    def payload_at(self, index: int) -> CovariancePayload:
+        return CovariancePayload(
+            float(self.counts[index]),
+            self.sums[index].copy(),
+            self.moments[index].copy(),
+        )
