@@ -1,0 +1,138 @@
+"""Columnar payload views for the IVM layer.
+
+A :class:`PayloadStore` is the columnar replacement for the seed's
+``Dict[Tuple, CovariancePayload]`` view: the join keys live in a dictionary
+mapping each key tuple to a *slot*, and the payloads of all slots are held as
+one stacked :class:`~repro.rings.covariance.CovarianceBlock` (count/sums/
+quadratic arrays with amortised-doubling capacity).  The batched delta path
+gathers and scatters whole :class:`CovarianceBlock`\\ s by slot arrays; the
+per-tuple path reads and writes single slots through the same storage, so
+both code paths maintain one state.
+
+Keys are never evicted when their payload cancels to zero — exactly the
+behaviour of the seed's dict views, whose entries also lingered at zero — so
+the store size is bounded by the number of distinct join keys ever seen.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.rings.covariance import CovarianceBlock, CovariancePayload
+
+__all__ = ["PayloadStore"]
+
+
+class PayloadStore:
+    """Key-coded covariance payloads: one slot per join key, stacked arrays."""
+
+    __slots__ = ("dimension", "_slots", "_keys", "counts", "sums", "moments")
+
+    def __init__(self, dimension: int, capacity: int = 8) -> None:
+        self.dimension = dimension
+        self._slots: Dict[Tuple, int] = {}
+        self._keys: List[Tuple] = []
+        capacity = max(int(capacity), 1)
+        self.counts = np.zeros(capacity)
+        self.sums = np.zeros((capacity, dimension))
+        self.moments = np.zeros((capacity, dimension, dimension))
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: Tuple) -> bool:
+        return key in self._slots
+
+    def keys(self) -> List[Tuple]:
+        return list(self._keys)
+
+    # -- capacity ------------------------------------------------------------------------
+
+    def _grow_to(self, size: int) -> None:
+        capacity = self.counts.shape[0]
+        if size <= capacity:
+            return
+        while capacity < size:
+            capacity *= 2
+        counts = np.zeros(capacity)
+        sums = np.zeros((capacity, self.dimension))
+        moments = np.zeros((capacity, self.dimension, self.dimension))
+        used = self.counts.shape[0]
+        counts[:used] = self.counts
+        sums[:used] = self.sums
+        moments[:used] = self.moments
+        self.counts, self.sums, self.moments = counts, sums, moments
+
+    # -- slot resolution -----------------------------------------------------------------
+
+    def slot_of(self, key: Tuple, create: bool = False) -> int:
+        """The slot of ``key`` (-1 when absent and ``create`` is off)."""
+        slot = self._slots.get(key)
+        if slot is None:
+            if not create:
+                return -1
+            slot = len(self._keys)
+            self._slots[key] = slot
+            self._keys.append(key)
+            self._grow_to(slot + 1)
+        return slot
+
+    def slots_for(self, keys: Sequence[Tuple], create: bool = False) -> np.ndarray:
+        """Slot per key (-1 for misses), probing the key dictionary once each."""
+        get = self._slots.get
+        if not create:
+            return np.fromiter(
+                (get(key, -1) for key in keys), dtype=np.int64, count=len(keys)
+            )
+        return np.fromiter(
+            (self.slot_of(key, create=True) for key in keys),
+            dtype=np.int64,
+            count=len(keys),
+        )
+
+    # -- per-tuple access (the single-update path) ---------------------------------------
+
+    def get(self, key: Tuple) -> Optional[CovariancePayload]:
+        slot = self._slots.get(key)
+        if slot is None:
+            return None
+        return CovariancePayload(
+            float(self.counts[slot]), self.sums[slot].copy(), self.moments[slot].copy()
+        )
+
+    def peek(self, key: Tuple) -> Optional[CovariancePayload]:
+        """Like :meth:`get` but aliasing the store's arrays (no copies).
+
+        For transient use as a ring-operation operand only — the arrays are
+        the live storage and later slot updates write through them.
+        """
+        slot = self._slots.get(key)
+        if slot is None:
+            return None
+        return CovariancePayload(
+            float(self.counts[slot]), self.sums[slot], self.moments[slot]
+        )
+
+    def add(self, key: Tuple, payload: CovariancePayload) -> None:
+        slot = self.slot_of(key, create=True)
+        self.counts[slot] += payload.count
+        self.sums[slot] += payload.sums
+        self.moments[slot] += payload.moments
+
+    # -- block access (the batched path) -------------------------------------------------
+
+    def gather(self, slots: np.ndarray) -> CovarianceBlock:
+        """The payload stack at the given slots (all must be valid)."""
+        return CovarianceBlock(
+            self.counts[slots], self.sums[slots], self.moments[slots]
+        )
+
+    def scatter_add(self, keys: Sequence[Tuple], block: CovarianceBlock) -> np.ndarray:
+        """Add one block row per (distinct) key; returns the slot array used."""
+        slots = self.slots_for(keys, create=True)
+        self.counts[slots] += block.counts
+        self.sums[slots] += block.sums
+        self.moments[slots] += block.moments
+        return slots
