@@ -102,6 +102,54 @@ def test_figure4_right_batched_throughput(benchmark, update_stream, batch_size):
     assert speedup > 0.5
 
 
+def test_figure4_right_fused_pass(benchmark, update_stream):
+    """Fused one-pass multi-delta propagation vs per-relation passes (PR 4).
+
+    Both modes run the current kernels; the fused pass carries every touched
+    relation's delta in one leaf-to-root traversal, amortising the per-hop
+    fixed costs.  Statistics must agree exactly up to float reassociation,
+    and ``parallel_deltas`` must be *bit-identical* to the sequential fused
+    pass.  The timing assertion stays loose (single-round, noisy machines);
+    the recorded sweep lives in ``BENCH_PR4.json``.
+    """
+    database, query, features, updates = update_stream
+    stream = updates[:2000]
+    batch_size = 100
+
+    def run():
+        results = {}
+        for name, kwargs in (
+            ("per_relation", dict(fused_deltas=False)),
+            ("fused", {}),
+            ("fused_parallel", dict(parallel_deltas=True)),
+        ):
+            maintainer = FIVM(database, query, features, **kwargs)
+            started = time.perf_counter()
+            for start in range(0, len(stream), batch_size):
+                maintainer.apply_batch(stream[start : start + batch_size])
+            results[name] = (maintainer, time.perf_counter() - started)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n=== Figure 4 (right) fused pass, batch={batch_size} ===")
+    for name, (maintainer, elapsed) in results.items():
+        stats = maintainer.executor_stats
+        print(
+            f"  {name:15s} {len(stream) / max(elapsed, 1e-9):12,.0f} tuples/s  "
+            f"(passes={stats.get('delta_passes', 0)}, "
+            f"pass_time={stats.get('delta_pass_ns', 0) / 1e6:.1f}ms)"
+        )
+    fused = results["fused"][0].statistics()
+    per_relation = results["per_relation"][0].statistics()
+    parallel = results["fused_parallel"][0].statistics()
+    assert abs(fused.count - per_relation.count) < 1e-6
+    assert fused.count == parallel.count
+    assert (fused.sums == parallel.sums).all()
+    assert (fused.moments == parallel.moments).all()
+    speedup = results["per_relation"][1] / max(results["fused"][1], 1e-9)
+    assert speedup > 0.5
+
+
 def test_figure4_right_ordering(benchmark, update_stream):
     """The relative ordering of the three strategies on a common stream."""
     database, query, features, updates = update_stream

@@ -442,8 +442,13 @@ class _DeltaKey:
         if self.track_buckets:
             self.buckets[code].append(entry)
 
-    def extend(self, rows: Sequence[Tuple], base: int) -> None:
-        """Encode ``rows`` (entries ``base..``): one dict probe per row."""
+    def extend(self, columns: Sequence[Sequence], count: int, base: int) -> None:
+        """Encode ``count`` new entries (``base..``) from transposed columns.
+
+        ``columns`` is the caller's one-time ``zip(*rows)`` transpose, shared
+        by every registered key and float column of the store — probing reads
+        whole C-level columns instead of indexing each row tuple per key.
+        """
         index = self.index
         keys = self.keys
         buckets = self.buckets
@@ -455,18 +460,17 @@ class _DeltaKey:
                 index[()] = 0
                 keys.append(())
                 buckets.append([])
-            self.codes.extend([0] * len(rows))
+            self.codes.extend([0] * count)
             if track:
-                buckets[0].extend(range(base, base + len(rows)))
+                buckets[0].extend(range(base, base + count))
             return
         codes: List[int] = []
         scalar = self.scalar
-        position = positions[0] if scalar else -1
-        for offset, row in enumerate(rows):
-            if scalar:
-                probe = row[position]
-            else:
-                probe = tuple(row[index_] for index_ in positions)
+        if scalar:
+            probes: Sequence = columns[positions[0]]
+        else:
+            probes = list(zip(*(columns[position] for position in positions)))
+        for offset, probe in enumerate(probes):
             code = index.get(probe)
             if code is None:
                 code = len(keys)
@@ -558,6 +562,8 @@ class DeltaColumnStore:
     def append_rows(self, rows: Sequence[Tuple], multiplicities) -> None:
         """Append one delta (rows + signed multiplicities) to every encoding."""
         base = self.entry_count
+        if not rows:
+            return
         if len(rows) == 1:
             # The per-tuple update path: scalar appends, no array round-trips.
             row = rows[0]
@@ -568,11 +574,12 @@ class DeltaColumnStore:
                 state.append_one(row, base)
             self.entry_count = base + 1
             return
+        columns = list(zip(*rows))
         self._multiplicities.extend(np.asarray(multiplicities, dtype=np.float64))
         for attribute, (position, values) in self._floats.items():
-            values.extend([float(row[position]) for row in rows])
+            values.extend(np.asarray(columns[position], dtype=np.float64))
         for state in self._keys.values():
-            state.extend(rows, base)
+            state.extend(columns, len(rows), base)
         self.entry_count = base + len(rows)
 
     # -- columnar access -----------------------------------------------------------------

@@ -56,10 +56,15 @@ class Relation:
         self._data: Dict[Row, int] = {}
         self._version = 0
         self._column_store = None
-        # The cheap changed-rows log: (version after the change, row, signed
-        # multiplicity), bounded by CHANGE_LOG_LIMIT.  ``_log_floor`` is the
-        # oldest version the log can still reconstruct changes from.
-        self._change_log: Deque[Tuple[int, Row, int]] = deque(maxlen=CHANGE_LOG_LIMIT)
+        # The cheap changed-rows log: one *group* per mutation — a list of
+        # (row, signed multiplicity) pairs tagged with the version after the
+        # change — bounded to CHANGE_LOG_LIMIT groups (an ``add_batch`` logs
+        # one group for the whole delta instead of one entry per row, so
+        # batched IVM streams pay one deque append per batch).  ``_log_floor``
+        # is the oldest version the log can still reconstruct changes from.
+        self._change_log: Deque[Tuple[int, List[Tuple[Row, int]]]] = deque(
+            maxlen=CHANGE_LOG_LIMIT
+        )
         self._log_floor = 0
         if multiplicities is not None:
             for row, multiplicity in multiplicities.items():
@@ -130,24 +135,34 @@ class Relation:
         """Remove ``multiplicity`` copies of ``row``."""
         self.add(row, -multiplicity)
 
-    def add_batch(self, rows: Sequence[Row], multiplicities: Sequence[int]) -> None:
+    def add_batch(
+        self,
+        rows: Sequence[Row],
+        multiplicities: Sequence[int],
+        validated: bool = False,
+    ) -> None:
         """Apply one signed delta (rows + multiplicities) in a single pass.
 
         Semantically a loop of :meth:`add` — the per-row arity check included
         — but with one version bump for the whole delta, which is what the
         batched IVM path wants: downstream caches see a single mutation.
+        ``validated=True`` skips the arity pre-check for callers that already
+        checked every row (the IVM batch path validates while netting).
         """
         arity = self.arity
-        # Validate everything before mutating anything: a mid-batch failure
-        # must not leave rows applied under an unbumped version (every
-        # version-guarded cache would then serve stale state as fresh).
-        for row in rows:
-            if len(row) != arity:
-                raise RelationError(
-                    f"row arity {len(row)} does not match schema arity {arity} "
-                    f"of relation {self.name!r}"
-                )
+        if not validated:
+            # Validate everything before mutating anything: a mid-batch
+            # failure must not leave rows applied under an unbumped version
+            # (every version-guarded cache would then serve stale state as
+            # fresh).
+            for row in rows:
+                if len(row) != arity:
+                    raise RelationError(
+                        f"row arity {len(row)} does not match schema arity {arity} "
+                        f"of relation {self.name!r}"
+                    )
         data = self._data
+        logged: List[Tuple[Row, int]] = []
         for row, multiplicity in zip(rows, multiplicities):
             if multiplicity == 0:
                 continue
@@ -157,8 +172,18 @@ class Relation:
                 data.pop(key, None)
             else:
                 data[key] = updated
-            self._log_change(self._version + 1, key, multiplicity)
+            logged.append((key, multiplicity))
         self._version += 1
+        if logged:
+            maxlen = self._change_log.maxlen or 0
+            if len(logged) >= maxlen:
+                # A delta this large exceeds what any log consumer would
+                # replay (they cap far below CHANGE_LOG_LIMIT); drop coverage
+                # instead of pinning the whole batch in memory.
+                self._change_log.clear()
+                self._log_floor = self._version
+            else:
+                self._log_group(self._version, logged)
 
     def insert_all(self, rows: Iterable[Sequence[RowValue]]) -> None:
         for row in rows:
@@ -172,11 +197,14 @@ class Relation:
         self._log_floor = self._version
 
     def _log_change(self, version: int, row: Row, multiplicity: int) -> None:
+        self._log_group(version, [(row, multiplicity)])
+
+    def _log_group(self, version: int, changes: List[Tuple[Row, int]]) -> None:
         log = self._change_log
         if len(log) == log.maxlen:
-            # Evicting the oldest entry loses coverage of its version.
+            # Evicting the oldest group loses coverage of its version.
             self._log_floor = max(self._log_floor, log[0][0])
-        log.append((version, row, multiplicity))
+        log.append((version, changes))
 
     def changes_since(self, version: int) -> Optional[List[Tuple[Row, int]]]:
         """The signed row changes applied after ``version``, oldest first.
@@ -190,11 +218,11 @@ class Relation:
             return None
         if version >= self._version:
             return []
-        return [
-            (row, multiplicity)
-            for logged_version, row, multiplicity in self._change_log
-            if logged_version > version
-        ]
+        out: List[Tuple[Row, int]] = []
+        for logged_version, changes in self._change_log:
+            if logged_version > version:
+                out.extend(changes)
+        return out
 
     # -- columnar view -----------------------------------------------------------
 

@@ -15,13 +15,22 @@ module is the shared home for that machinery:
   :class:`~repro.data.colstore.ColumnStore`'s code space, typed-vectorised
   when possible and via the store's cached key index otherwise.
 
+Since PR 4 it also hosts the *multi-delta pass* primitives shared by the
+fused IVM propagation:
+
+- :func:`merge_keyed_deltas` — deterministically merge several keyed payload
+  blocks (the per-relation deltas arriving at one join-tree node) into one;
+- :func:`subtree_schedule` — the level/parent-group traversal plan a fused
+  leaf-to-root pass follows, which is also the unit of independence the
+  subtree scheduler parallelises over.
+
 Everything here is pure array manipulation over dictionary-encoded keys —
 no per-row Python on any hot path.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,7 +42,27 @@ __all__ = [
     "expand_matches",
     "key_codes_for",
     "typed_key_columns",
+    "merge_keyed_deltas",
+    "rows_matching_keys",
+    "subtree_schedule",
 ]
+
+
+def rows_matching_keys(
+    store: ColumnStore, attributes: Sequence[str], keys
+) -> np.ndarray:
+    """Boolean row mask of the store rows whose key tuple is in ``keys``.
+
+    The delta-refresh and root-patching paths all restrict a relation to the
+    rows joining a small set of affected keys; this is their shared
+    key-index probe + ``np.isin`` over the cached key codes.
+    """
+    codes, _tuples = store.codes_for(attributes)
+    index = store.key_index(attributes)
+    matched = [index[key] for key in keys if key in index]
+    if not matched:
+        return np.zeros(store.row_count, dtype=bool)
+    return np.isin(codes, np.asarray(matched, dtype=np.int64))
 
 
 def match_key_columns(
@@ -121,6 +150,74 @@ def expand_matches(
     within = np.arange(total, dtype=np.int64) - np.repeat(exclusive, counts)
     member_rows = order[np.repeat(starts, counts) + within]
     return item_index, member_rows
+
+
+def merge_keyed_deltas(contributions, concatenate: Callable):
+    """Merge keyed payload blocks into one ``(keys, block)`` delta.
+
+    ``contributions`` is a non-empty sequence of ``(keys, block)`` pairs — the
+    deltas arriving at one join-tree node from its children plus its own
+    update group.  The merged key list holds every distinct key in
+    first-seen order (contribution order, then key order within each), and
+    the merged block sums the rows of equal keys via the block's
+    ``segment_sum``; ``concatenate`` stacks the blocks (payload-type
+    specific, e.g. ``CovarianceBlock.concatenate``).  Both the key order and
+    the floating-point reduction order are therefore fully determined by the
+    contribution order, which is what keeps the parallel subtree schedule
+    bit-identical to the sequential pass.
+    """
+    if len(contributions) == 1:
+        return contributions[0]
+    first_keys = contributions[0][0]
+    if all(keys == first_keys for keys, _block in contributions[1:]):
+        # Identical key lists (e.g. every contribution targets the root's
+        # single empty key): elementwise block addition, no re-coding.
+        merged = contributions[0][1]
+        for _keys, block in contributions[1:]:
+            merged = merged.add(block)
+        return first_keys, merged
+    index: Dict[Tuple, int] = {}
+    merged_keys: List[Tuple] = []
+    codes: List[int] = []
+    for keys, _block in contributions:
+        for key in keys:
+            code = index.get(key)
+            if code is None:
+                code = len(merged_keys)
+                index[key] = code
+                merged_keys.append(key)
+            codes.append(code)
+    stacked = concatenate([block for _keys, block in contributions])
+    merged = stacked.segment_sum(
+        np.asarray(codes, dtype=np.int64), len(merged_keys)
+    )
+    return merged_keys, merged
+
+
+def subtree_schedule(join_tree) -> List[List[List]]:
+    """The traversal plan of a fused leaf-to-root multi-delta pass.
+
+    Returns the join tree's nodes as *levels* in deepest-first order; each
+    level is a list of *parent groups* — the nodes of the level sharing one
+    parent, in the parent's child order.  Two groups of one level touch
+    disjoint state during a propagation hop (each node writes its own view
+    and its own parent's pending delta, and reads only sibling views inside
+    its group), so groups are the unit the subtree scheduler may dispatch
+    concurrently; *within* a group the order is significant — a node's delta
+    must land in its view before a later sibling's hop reads it.
+    """
+    levels: Dict[int, Dict[Optional[str], List]] = {}
+
+    def visit(node, depth: int) -> None:
+        parent = node.parent.relation_name if node.parent is not None else None
+        levels.setdefault(depth, {}).setdefault(parent, []).append(node)
+        for child in node.children:
+            visit(child, depth + 1)
+
+    visit(join_tree.root, 0)
+    return [
+        list(levels[depth].values()) for depth in sorted(levels, reverse=True)
+    ]
 
 
 def typed_key_columns(keys: Sequence[Tuple]) -> Optional[List[np.ndarray]]:

@@ -32,9 +32,12 @@ from its cross-evaluate cache never reach this module and are counted under
 
 from __future__ import annotations
 
+import os as _os
+import threading as _threading
+from concurrent.futures import ThreadPoolExecutor as _ThreadPoolExecutor
 from dataclasses import dataclass
 from operator import itemgetter as _itemgetter
-from typing import Dict, List, Mapping, MutableMapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, MutableMapping, Optional, Sequence, Tuple
 
 import numpy as _np
 
@@ -62,6 +65,81 @@ STAT_CACHED = "views_cached"
 #: changed key groups after a small update (see ``LMFAOEngine``); like
 #: :data:`STAT_CACHED`, counted by the engine, never by this module.
 STAT_DELTA_REFRESHED = "views_delta_refreshed"
+#: Stale cached *root* views the engine patched by adding the propagated
+#: delta view of a small update instead of recomputing the root from scratch
+#: (see ``LMFAOEngine._try_patch_root``); counted by the engine.
+STAT_ROOT_PATCHED = "root_patches"
+
+
+class SubtreeScheduler:
+    """Dispatches independent join-tree work units onto one shared thread pool.
+
+    The fused multi-delta pass (see :mod:`repro.ivm.fivm`) processes one tree
+    level at a time; within a level, the per-parent node groups of
+    :func:`repro.engine.deltas.subtree_schedule` touch disjoint maintainer
+    state, so they can run concurrently.  The hot work inside a group is
+    numpy-heavy enough to release the GIL, which is what makes threads pay
+    off despite CPython.  The pool is shared process-wide (maintainers come
+    and go per benchmark round; one pool avoids thread churn) and built
+    lazily on the first parallel dispatch.
+
+    Determinism: the scheduler only ever runs *whole groups*, each on a
+    single thread, and joins them all before returning (a level barrier).
+    Group results land in per-group state, never in shared accumulators, so
+    the observable outcome is identical to running the groups sequentially —
+    bit-identical, not merely equivalent up to float reassociation.
+    """
+
+    _pool: Optional[_ThreadPoolExecutor] = None
+    _lock = _threading.Lock()
+
+    @classmethod
+    def pool(cls) -> _ThreadPoolExecutor:
+        if cls._pool is None:
+            with cls._lock:
+                if cls._pool is None:
+                    workers = max(2, min(16, _os.cpu_count() or 2))
+                    cls._pool = _ThreadPoolExecutor(
+                        max_workers=workers,
+                        thread_name_prefix="subtree-delta",
+                    )
+        return cls._pool
+
+    @classmethod
+    def run_groups(cls, units: Sequence[Callable[[], None]]) -> None:
+        """Run the given thunks concurrently and wait for all of them.
+
+        A single unit runs inline (no dispatch overhead), as does everything
+        on a single-core machine — threads cannot overlap there, so the
+        dispatch cost would be pure loss; the sequential order is the same
+        one the pool's determinism guarantees, so results are unchanged.
+        Failures propagate after every submitted unit has finished, so the
+        caller never observes a half-processed level.
+        """
+        if len(units) == 1 or (_os.cpu_count() or 1) < 2:
+            inline_error: Optional[Exception] = None
+            for unit in units:
+                try:
+                    unit()
+                except Exception as exc:
+                    # Only plain failures are deferred until the level
+                    # completes; KeyboardInterrupt and friends must abort
+                    # immediately.
+                    if inline_error is None:
+                        inline_error = exc
+            if inline_error is not None:
+                raise inline_error
+            return
+        futures = [cls.pool().submit(unit) for unit in units]
+        error: Optional[Exception] = None
+        for future in futures:
+            try:
+                future.result()
+            except Exception as exc:
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
 
 
 def restrict_signature(
@@ -1226,13 +1304,16 @@ def compute_node_views(
                 tick(STAT_COLUMNAR, len(computed))
                 tick(STAT_TUPLE_FALLBACK, len(fallback))
         else:
-            # No sharing: every signature re-encodes the relation and runs its
-            # own single-view pipeline, so the ablation measures what scan
-            # sharing actually buys.
+            # No sharing: every signature runs its own single-view pipeline
+            # (its own family, key codings, filter masks and child joins), so
+            # the ablation measures what *pipeline* sharing buys.  The
+            # dictionary encoding itself is served by the relation's cached
+            # column store — re-encoding per signature measured storage
+            # duplication no real engine would exhibit, and the IVM paths
+            # mutating relations mid-stream made the duplicate snapshots
+            # actively misleading.
             for signature in signatures:
-                context = ColumnarContext(
-                    node, relation, conn_attributes, store=ColumnStore(relation)
-                )
+                context = ColumnarContext(node, relation, conn_attributes)
                 (family,) = _build_families(node, [signature], designation)
                 computed, fallback = _evaluate_family(
                     context, node, family, designation, child_views, {}

@@ -34,6 +34,7 @@ from repro.data.relation import Relation
 from repro.engine.executor import (
     STAT_CACHED,
     STAT_DELTA_REFRESHED,
+    STAT_ROOT_PATCHED,
     ColumnarContext,
     ColumnarView,
     PatchedView,
@@ -42,7 +43,9 @@ from repro.engine.executor import (
     _table_for,
     compute_node_views,
     patch_child_table,
+    restrict_signature,
 )
+from repro.engine.deltas import rows_matching_keys
 from repro.engine.plan import BatchPlan, ViewSignature, plan_batch
 from repro.engine.naive import evaluate_aggregate_over_rows
 from repro.engine.statistics import (
@@ -93,6 +96,18 @@ class EngineOptions:
         Delta-refresh only engages while the logged change set and the
         changed-key set stay at or below this size; larger deltas fall back
         to the plain recompute.
+    ``root_patching``
+        With ``delta_refresh``: patch stale cached *root* views by
+        propagating the logged delta up the join tree as a signed delta view
+        and adding it into the cached extraction, instead of recomputing the
+        root from scratch — see :meth:`LMFAOEngine._try_patch_root`.
+    ``parallel_deltas``
+        The GIL-free subtree-parallelism knob of the fused IVM delta pass
+        (see :class:`repro.ivm.fivm.FIVM` and
+        :class:`repro.engine.executor.SubtreeScheduler`).  Carried here so
+        one options object configures an engine and the maintainers built
+        alongside it (the benchmark harnesses forward it); the engine's own
+        node-level parallelism stays under ``parallel``.
     """
 
     specialize: bool = True     # compiled (columnar or tuple) access vs per-row dict interpretation
@@ -106,6 +121,8 @@ class EngineOptions:
     view_cache_size: int = 512
     delta_refresh: bool = True
     delta_refresh_limit: int = 64
+    root_patching: bool = True
+    parallel_deltas: bool = False
 
     def resolved_workers(self) -> int:
         """The thread-pool size: explicit ``workers`` or a cpu-count default."""
@@ -559,12 +576,9 @@ class LMFAOEngine:
                 return None
             store = self.database.relation(parent.relation_name).column_store()
             child_attrs = tuple(sorted(node.connection_attributes()))
-            codes, _tuples = store.codes_for(child_attrs)
-            index = store.key_index(child_attrs)
-            changed_codes = [index[key] for key in keys if key in index]
             parent_conn = tuple(sorted(parent.connection_attributes()))
             parent_codes, parent_tuples = store.codes_for(parent_conn)
-            mask = np.isin(codes, np.asarray(changed_codes, dtype=np.int64))
+            mask = rows_matching_keys(store, child_attrs, keys)
             affected = np.unique(parent_codes[mask])
             keys = {parent_tuples[code] for code in affected.tolist()}
             node = parent
@@ -594,8 +608,13 @@ class LMFAOEngine:
         compute.
         """
         options = self.options
-        if not options.delta_refresh or node.parent is None:
+        if not options.delta_refresh:
             return [signature for signature, _entry in stale]
+        if node.parent is None:
+            # The root has a single (empty) connection key, so key-group
+            # splicing degenerates to a full recompute; patch the root's
+            # *payload* instead: propagate the delta view up and add it.
+            return self._try_patch_root(node, stale, versions, plan, views, stats)
         names = self._subtree_names[node.relation_name]
         limit = int(options.delta_refresh_limit)
         pending: List[ViewSignature] = []
@@ -661,6 +680,192 @@ class LMFAOEngine:
                 self._view_cache.popitem(last=False)
         return pending
 
+    def _try_patch_root(
+        self,
+        root: JoinTreeNode,
+        stale: List[Tuple[ViewSignature, Tuple[Tuple[int, ...], View]]],
+        versions: Tuple[int, ...],
+        plan: BatchPlan,
+        views: Dict[Tuple[str, ViewSignature], View],
+        stats: Optional[Dict[str, int]],
+    ) -> List[ViewSignature]:
+        """Patch stale cached root views by adding a propagated delta view.
+
+        A root view's value is *linear* in any single relation of the join:
+        replacing that relation by its logged signed delta (and keeping every
+        other relation as-is) evaluates to exactly the root view's change.
+        When exactly one relation mutated since a root view was cached and
+        its change log still covers the gap, the engine therefore computes a
+        *delta view* — the changed rows at the mutated node, pushed up the
+        root path by joining each ancestor's rows against the delta's
+        connection keys with the (unchanged) sibling views — and splices it
+        into the cached root view by plain value addition
+        (:meth:`_propagate_root_delta`).  This is the F-IVM delta rule
+        applied to the engine's view signatures; the patched extraction can
+        keep group entries whose contributions cancelled to ~0.0 (a full
+        recompute drops them), which is why equivalence holds to float
+        tolerance rather than bitwise.  Returns the signatures that still
+        need a full recompute.
+        """
+        options = self.options
+        if not options.root_patching:
+            return [signature for signature, _entry in stale]
+        names = self._subtree_names[root.relation_name]
+        limit = int(options.delta_refresh_limit)
+        pending: List[ViewSignature] = []
+        change_sets: Dict[Tuple[str, int], Optional[List[Tuple[Tuple, int]]]] = {}
+        groups: Dict[Tuple[str, int], List[Tuple[ViewSignature, View]]] = {}
+        for signature, (old_versions, old_view) in stale:
+            changed = [
+                (name, old)
+                for name, old, new in zip(names, old_versions, versions)
+                if old != new
+            ]
+            if len(changed) != 1:
+                pending.append(signature)
+                continue
+            group_key = changed[0]
+            if group_key not in change_sets:
+                changes = self.database.relation(group_key[0]).changes_since(
+                    group_key[1]
+                )
+                if changes is not None and len(changes) > limit:
+                    changes = None
+                change_sets[group_key] = changes
+            if change_sets[group_key] is None:
+                pending.append(signature)
+            else:
+                groups.setdefault(group_key, []).append((signature, old_view))
+
+        for (changed_name, _old_version), members in groups.items():
+            changes = change_sets[(changed_name, _old_version)]
+            assert changes is not None
+            signatures = [signature for signature, _view in members]
+            deltas = self._propagate_root_delta(
+                changed_name, changes, signatures, plan, views
+            )
+            if deltas is None:
+                pending.extend(signatures)
+                continue
+            for signature, old_view in members:
+                merged: Dict[Tuple, Dict[Tuple, float]] = dict(old_view.items())
+                for conn_key, delta_groups in deltas[signature].items():
+                    base = dict(merged.get(conn_key, {}))
+                    for pairs, value in delta_groups.items():
+                        base[pairs] = base.get(pairs, 0.0) + value
+                    merged[conn_key] = base
+                views[(root.relation_name, signature)] = merged
+                self._view_cache[(root.relation_name, signature)] = (versions, merged)
+                self._view_cache.move_to_end((root.relation_name, signature))
+            if stats is not None:
+                stats[STAT_ROOT_PATCHED] = (
+                    stats.get(STAT_ROOT_PATCHED, 0) + len(members)
+                )
+        if groups:
+            cache_limit = max(int(self.options.view_cache_size), 0)
+            while len(self._view_cache) > cache_limit:
+                self._view_cache.popitem(last=False)
+        return pending
+
+    def _propagate_root_delta(
+        self,
+        changed_name: str,
+        changes: List[Tuple[Tuple, int]],
+        signatures: List[ViewSignature],
+        plan: BatchPlan,
+        views: Dict[Tuple[str, ViewSignature], View],
+    ) -> Optional[Dict[ViewSignature, View]]:
+        """The root views' delta induced by one relation's signed changes.
+
+        Walks the path from the changed relation to the root.  At the
+        changed node the delta relation (changed rows with signed
+        multiplicities) is evaluated with the current child views; at every
+        ancestor, only the rows joining the delta's connection keys are
+        evaluated, with the path child's view *replaced by the delta view*
+        and all other children served from ``views`` (their subtrees are
+        unchanged by the single-relation guard).  Linearity in one relation
+        makes this exact.  None when a hop's key set outgrows
+        ``delta_refresh_limit`` (the caller then recomputes fully).
+        """
+        limit = int(self.options.delta_refresh_limit)
+        node = self.join_tree.node(changed_name)
+        path: List[JoinTreeNode] = []
+        current_node: Optional[JoinTreeNode] = node
+        while current_node is not None:
+            path.append(current_node)
+            current_node = current_node.parent
+        # Restrict every root signature down the path (root first).
+        per_node_signatures: List[List[ViewSignature]] = [signatures]
+        for position in range(len(path) - 1, 0, -1):
+            parent_signatures = per_node_signatures[0]
+            child = path[position - 1]
+            per_node_signatures.insert(
+                0,
+                [
+                    restrict_signature(signature, child, plan.designation)
+                    for signature in parent_signatures
+                ],
+            )
+
+        changed_relation = self.database.relation(changed_name)
+        delta_relation = Relation(changed_relation.name, changed_relation.schema)
+        for row, multiplicity in changes:
+            delta_relation.add(row, multiplicity)
+
+        current = compute_node_views(
+            node,
+            delta_relation,
+            per_node_signatures[0],
+            plan.designation,
+            views,
+            specialize=self.options.specialize,
+            share_scans=self.options.share,
+            columnar=self.options.columnar,
+            context_cache=None,
+            stats=None,
+        )
+        for position in range(1, len(path)):
+            child = path[position - 1]
+            parent = path[position]
+            seen_keys: set = set()
+            delta_keys: List[Tuple] = []
+            for delta_view in current.values():
+                for key in delta_view.keys():
+                    if key not in seen_keys:
+                        seen_keys.add(key)
+                        delta_keys.append(key)
+            if len(delta_keys) > limit:
+                return None
+            relation = self.database.relation(parent.relation_name)
+            store = relation.column_store()
+            child_conn = tuple(sorted(child.connection_attributes()))
+            mask = rows_matching_keys(store, child_conn, delta_keys)
+            sub_relation = Relation(relation.name, relation.schema)
+            multiplicities = store.multiplicities
+            for row_position in np.nonzero(mask)[0].tolist():
+                sub_relation.add(
+                    store.rows[row_position],
+                    int(multiplicities[row_position]),
+                )
+            overlay = dict(views)
+            for child_signature in per_node_signatures[position - 1]:
+                overlay[(child.relation_name, child_signature)] = current[
+                    child_signature
+                ]
+            current = compute_node_views(
+                parent,
+                sub_relation,
+                per_node_signatures[position],
+                plan.designation,
+                overlay,
+                specialize=self.options.specialize,
+                share_scans=self.options.share,
+                columnar=self.options.columnar,
+                context_cache=None,
+                stats=None,
+            )
+        return dict(zip(signatures, (current[s] for s in signatures)))
+
     def _refresh_key_groups(
         self,
         node: JoinTreeNode,
@@ -679,10 +884,7 @@ class LMFAOEngine:
         relation = self.database.relation(node.relation_name)
         store = relation.column_store()
         conn = tuple(sorted(node.connection_attributes()))
-        codes, _tuples = store.codes_for(conn)
-        index = store.key_index(conn)
-        changed_codes = [index[key] for key in changed_keys if key in index]
-        mask = np.isin(codes, np.asarray(changed_codes, dtype=np.int64))
+        mask = rows_matching_keys(store, conn, changed_keys)
         sub_relation = Relation(relation.name, relation.schema)
         multiplicities = store.multiplicities
         for position in np.nonzero(mask)[0].tolist():

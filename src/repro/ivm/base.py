@@ -9,13 +9,18 @@ Updates arrive one at a time (:meth:`CovarianceMaintainer.apply`) or as
 batches (:meth:`CovarianceMaintainer.apply_batch`).  A batch is itself a
 *delta relation*: :meth:`apply_batch` nets out multiplicities per tuple,
 groups the batch per relation, encodes each group as a delta
-:class:`~repro.data.colstore.ColumnStore`, and hands it to the strategy's
-``_apply_delta_group`` — one vectorised propagation per touched relation
-instead of one Python traversal per tuple.  Grouping is sound because the
-delta effect on any view is *linear* in the delta of a single relation (a
-group's tuples never join against their own relation), and the final state
-is order-independent across relations (every maintainer invariant is a
-function of the base relations alone).
+:class:`~repro.data.colstore.ColumnStore`, and hands it to the strategy —
+either one vectorised propagation per touched relation
+(``_apply_delta_group``) or, for strategies flagging
+``supports_fused_deltas``, one *fused multi-delta pass* over the whole join
+tree (``_apply_multi_delta``) that carries every touched relation's delta in
+a single leaf-to-root traversal.  Grouping is sound because the delta effect
+on any view is *linear* in the delta of a single relation (a group's tuples
+never join against their own relation), and the final state is
+order-independent across relations (every maintainer invariant is a
+function of the base relations alone); the fused pass realises the
+telescoped form of that sum (new views before the current child, old views
+after it), so it lands on the same state in one traversal.
 """
 
 from __future__ import annotations
@@ -176,23 +181,46 @@ class CovarianceMaintainer(abc.ABC):
         schema database carries representative data this picks the root that
         minimises view-tree work, and when it is empty the choice degrades to
         the widest-relation heuristic that ``root_strategy="widest"`` forces
-        unconditionally (the seed behaviour).
+        unconditionally (the seed behaviour).  ``root_strategy="largest"``
+        roots at the relation with the most rows in the schema database: for
+        *maintenance* (as opposed to batch evaluation) the dominant cost is
+        the leaf-to-root propagation distance weighted by each relation's
+        update mass, and absent a workload trace the representative row
+        counts are the best static proxy for where updates will land — an
+        update stream drawn from the data (the Figure-4 experiment) hits the
+        fact table in proportion to its size, and rooting there makes the
+        bulk of all deltas root-local (zero propagation hops).
         """
         self.query = query
         self.features = tuple(features)
         self.ring = CovarianceRing(len(self.features))
+        #: Counters mirroring ``BatchResult.executor_stats``: strategies with
+        #: a fused path record ``delta_passes`` (fused traversals run) and
+        #: ``delta_pass_ns`` (time spent inside them), so benchmarks can
+        #: attribute maintenance time without profiling.
+        self.executor_stats: Dict[str, int] = {}
         # The maintainer owns an initially-empty copy of the database: the
         # streaming experiment of Figure 4 (right) starts from nothing.
         self.database = schema_database.empty_copy()
         hypergraph = query.hypergraph(schema_database)
-        if root_strategy not in ("cost", "widest"):
+        if root_strategy not in ("cost", "widest", "largest"):
             raise ValueError(
-                f"unknown root_strategy {root_strategy!r}; expected 'cost' or 'widest'"
+                f"unknown root_strategy {root_strategy!r}; "
+                "expected 'cost', 'widest' or 'largest'"
             )
         root = root_relation
         if root is None:
             if root_strategy == "cost":
                 root = choose_root(schema_database, build_join_tree(hypergraph)).root
+            elif root_strategy == "largest":
+                root = max(
+                    query.relation_names,
+                    key=lambda name: (
+                        len(schema_database.relation(name)),
+                        schema_database.relation(name).arity,
+                        name,
+                    ),
+                )
             else:
                 root = max(
                     query.relation_names,
@@ -268,6 +296,12 @@ class CovarianceMaintainer(abc.ABC):
     #: ``apply_batch`` then takes the grouped, columnar path for real batches.
     supports_batch_deltas = False
 
+    #: Strategies overriding ``_apply_multi_delta`` flip this on (instances
+    #: may flip it back off to force the per-relation path, e.g. for
+    #: equivalence testing); the base ``apply_batch`` then hands *all* of a
+    #: batch's per-relation groups to one fused tree pass.
+    supports_fused_deltas = False
+
     def _validate(self, update: Update) -> None:
         """Check the update's row arity against the relation schema."""
         relation = self.database.relation(update.relation_name)
@@ -294,11 +328,15 @@ class CovarianceMaintainer(abc.ABC):
         """Apply a stream of updates, propagating whole per-relation deltas.
 
         The batch is netted out per (relation, row) — an insert/delete pair
-        inside one batch cancels — and grouped per relation; each group is
-        applied through the strategy's vectorised ``_apply_delta_group`` (one
-        delta propagation for the whole group), after which the group's rows
-        land in the base relation.  Strategies without a batched path, and
-        single-update batches, fall back to the per-tuple :meth:`apply`.
+        inside one batch cancels — and grouped per relation.  Strategies
+        flagging ``supports_fused_deltas`` receive *all* groups at once
+        through ``_apply_multi_delta`` (one leaf-to-root traversal for the
+        whole batch); otherwise each group is applied through the vectorised
+        ``_apply_delta_group`` (one delta propagation per touched relation).
+        Either way the groups' rows then land in the base relations and the
+        per-relation after-hooks keep the incremental indexes in sync.
+        Strategies without a batched path, and single-update batches, fall
+        back to the per-tuple :meth:`apply`.
         """
         updates = list(updates)
         if len(updates) < 2 or not self.supports_batch_deltas:
@@ -307,25 +345,44 @@ class CovarianceMaintainer(abc.ABC):
             return len(updates)
         arities: Dict[str, int] = {}
         grouped: Dict[str, Dict[Tuple, int]] = {}
+        grouped_get = grouped.get
         for update in updates:
-            arity = arities.get(update.relation_name)
-            if arity is None:
-                arity = self.database.relation(update.relation_name).arity
-                arities[update.relation_name] = arity
-            if len(update.row) != arity:
+            name = update.relation_name
+            row = update.row
+            bucket = grouped_get(name)
+            if bucket is None:
+                bucket = grouped[name] = {}
+                arities[name] = self.database.relation(name).arity
+            if len(row) != arities[name]:
                 self._validate(update)  # raises with the detailed message
-            bucket = grouped.setdefault(update.relation_name, {})
-            bucket[update.row] = bucket.get(update.row, 0) + update.multiplicity
+            bucket[row] = bucket.get(row, 0) + update.multiplicity
+        groups: List[Tuple[str, List[Tuple], List[int], np.ndarray]] = []
         for relation_name, bucket in grouped.items():
-            rows = [row for row, multiplicity in bucket.items() if multiplicity != 0]
+            rows: List[Tuple] = []
+            netted: List[int] = []
+            for row, multiplicity in bucket.items():
+                if multiplicity != 0:
+                    rows.append(row)
+                    netted.append(multiplicity)
             if not rows:
                 continue
-            multiplicities = np.asarray(
-                [bucket[row] for row in rows], dtype=np.float64
+            groups.append(
+                (relation_name, rows, netted, np.asarray(netted, dtype=np.float64))
             )
+        if self.supports_fused_deltas and groups:
+            self._apply_multi_delta(
+                [(name, rows, floats) for name, rows, _netted, floats in groups]
+            )
+            for relation_name, rows, netted, multiplicities in groups:
+                self.database.relation(relation_name).add_batch(
+                    rows, netted, validated=True
+                )
+                self._after_delta_group(relation_name, rows, multiplicities)
+            return len(updates)
+        for relation_name, rows, netted, multiplicities in groups:
             self._apply_delta_group(relation_name, rows, multiplicities)
             self.database.relation(relation_name).add_batch(
-                rows, [int(multiplicity) for multiplicity in multiplicities]
+                rows, netted, validated=True
             )
             self._after_delta_group(relation_name, rows, multiplicities)
         return len(updates)
@@ -341,6 +398,19 @@ class CovarianceMaintainer(abc.ABC):
 
         Run before the group's rows reach the base relation, exactly like
         ``_apply_update``; only called when ``supports_batch_deltas`` is on.
+        """
+        raise NotImplementedError
+
+    def _apply_multi_delta(
+        self, groups: List[Tuple[str, List[Tuple], np.ndarray]]
+    ) -> None:
+        """Strategy-specific fused maintenance for a whole batch.
+
+        ``groups`` lists every touched relation's netted delta as
+        ``(relation_name, rows, multiplicities)``.  Run before any group's
+        rows reach the base relations — the fused pass reads every mirror and
+        index in its pre-batch state; only called when
+        ``supports_fused_deltas`` is on.
         """
         raise NotImplementedError
 

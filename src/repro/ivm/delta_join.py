@@ -109,7 +109,6 @@ class DeltaJoiner:
         relation_name: str,
         delta_store: ColumnStore,
         attributes: Sequence[str],
-        hop_cache: Optional[Dict] = None,
     ) -> Tuple[Dict[str, np.ndarray], np.ndarray]:
         """The join delta of a whole delta store, as float columns.
 
@@ -120,13 +119,8 @@ class DeltaJoiner:
         the delta's keys otherwise), and the expansion is one ``np.repeat``
         gather per hop.  Returns the requested ``attributes`` decoded to
         float64 over the expanded rows plus the expanded signed
-        multiplicities.
-
-        ``hop_cache`` (a plain dict owned by the caller) memoises the
-        per-hop bucket sources across repeated expansions of the *same*
-        delta — first-order IVM re-expands once per aggregate, but the
-        physical index lookups behind the expansions are shared, exactly as
-        the maintained indexes themselves are in the per-tuple path.
+        multiplicities.  Callers expand once per delta group and reuse the
+        returned columns for every aggregate of their batch.
         """
         # Per visited relation: (its store, expanded row index into the store).
         sources: Dict[str, Tuple[ColumnStore, np.ndarray]] = {
@@ -147,17 +141,11 @@ class DeltaJoiner:
                 visited.add(neighbour_name)
                 frontier.append(neighbour_name)
                 current_codes, current_distinct = current_store.codes_for(shared)
-                cache_key = (current, neighbour_name, shared)
-                cached = None if hop_cache is None else hop_cache.get(cache_key)
-                if cached is None:
-                    cached = bucket_source(
-                        self.database.relation(neighbour_name),
-                        self._ensure_index(neighbour_name, shared),
-                        current_distinct,
-                    )
-                    if hop_cache is not None:
-                        hop_cache[cache_key] = cached
-                neighbour_store, key_codes, offsets, order = cached
+                neighbour_store, key_codes, offsets, order = bucket_source(
+                    self.database.relation(neighbour_name),
+                    self._ensure_index(neighbour_name, shared),
+                    current_distinct,
+                )
                 current_rows = sources[current][1]
                 item_codes = key_codes[current_codes[current_rows]]
                 item_index, member_rows = expand_matches(item_codes, offsets, order)

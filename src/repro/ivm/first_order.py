@@ -81,30 +81,27 @@ class FirstOrderIVM(CovarianceMaintainer):
 
     def _apply_delta_group(self, relation_name, rows, multiplicities) -> None:
         # The batched path keeps first-order IVM's defining inefficiency —
-        # one delta-join expansion per maintained aggregate — but runs every
-        # expansion vectorised over the whole group.
+        # every aggregate of the batch still *scans* the expanded join delta
+        # separately — but the delta-join expansion itself is hoisted out of
+        # the aggregate loop: one vectorised expansion carries all feature
+        # columns, and each aggregate reduces over the shared arrays.  (The
+        # per-tuple path keeps re-expanding per aggregate, as the classical
+        # first-order formulation does.)
         delta_store = self._delta_store(relation_name, rows, multiplicities)
         dimension = len(self.features)
-        hop_cache: Dict = {}
 
-        _columns, mults = self._joiner.expand_columnar(
-            relation_name, delta_store, (), hop_cache
+        columns, mults = self._joiner.expand_columnar(
+            relation_name, delta_store, tuple(self.features)
         )
         self._count += float(mults.sum())
 
         for position, feature in enumerate(self.features):
-            columns, mults = self._joiner.expand_columnar(
-                relation_name, delta_store, (feature,), hop_cache
-            )
             self._sums[position] += float(columns[feature] @ mults)
 
         for left in range(dimension):
             for right in range(left, dimension):
                 left_feature = self.features[left]
                 right_feature = self.features[right]
-                columns, mults = self._joiner.expand_columnar(
-                    relation_name, delta_store, (left_feature, right_feature), hop_cache
-                )
                 delta_moment = float(
                     np.sum(columns[left_feature] * columns[right_feature] * mults)
                 )

@@ -23,9 +23,33 @@ two equivalent code paths over one state:
   the executor's CSR tables, kept current incrementally so a hop never pays
   an O(rows) re-encode.  The same factorised delta rule, with every ring
   operation vectorised over the group.
+
+The batched path is *fused* across relations: instead of one leaf-to-root
+propagation per touched relation, ``apply_batch`` runs a single
+**multi-delta pass** over the join tree (``_apply_multi_delta``).  The pass
+walks the tree one level at a time, deepest first; at every node it merges
+the deltas arriving from the node's children with the node's own update
+group (:func:`repro.engine.deltas.merge_keyed_deltas`), adds the merged
+delta to the node's view, and performs *one* hop towards the parent.  The
+fixed per-hop costs — key-code translation, bucket CSR assembly, sibling
+slot-map lookups, payload gathers — are thereby paid once per *node*, not
+once per (relation, ancestor) pair, which is what dominated small batches.
+
+Correctness of the fusion follows from telescoping the product delta: with
+children processed in tree order, a child's hop multiplies the views of
+earlier siblings *after* their deltas landed and of later siblings *before*
+theirs, and a node's own group is lifted against fully-updated child views —
+exactly the expansion of ``new product − old product``, so one traversal
+lands on the per-relation result.  Because two same-level node groups under
+different parents touch disjoint state, the pass can dispatch them onto the
+shared :class:`~repro.engine.executor.SubtreeScheduler` thread pool
+(``parallel_deltas=True``); the numpy-heavy hop kernels release the GIL, and
+the fixed group order keeps the result bit-identical to the sequential pass.
 """
 
 from __future__ import annotations
+
+import time
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -33,6 +57,8 @@ import numpy as np
 
 from repro.data.colstore import DeltaColumnStore
 from repro.data.database import Database
+from repro.engine.deltas import merge_keyed_deltas, subtree_schedule
+from repro.engine.executor import SubtreeScheduler
 from repro.ivm.base import CovarianceMaintainer, JoinIndex, Update
 from repro.ivm.payload_store import PayloadStore
 from repro.query.conjunctive import ConjunctiveQuery
@@ -98,6 +124,7 @@ class FIVM(CovarianceMaintainer):
     """Factorised IVM over a view tree with covariance-ring payloads."""
 
     supports_batch_deltas = True
+    supports_fused_deltas = True
 
     def __init__(
         self,
@@ -105,14 +132,39 @@ class FIVM(CovarianceMaintainer):
         query: ConjunctiveQuery,
         features: Sequence[str],
         root_relation: Optional[str] = None,
-        root_strategy: str = "cost",
+        root_strategy: str = "largest",
+        fused_deltas: bool = True,
+        parallel_deltas: bool = False,
     ) -> None:
+        """``root_strategy`` defaults to ``"largest"`` (root at the relation
+        with the most representative rows): propagation cost is path length
+        weighted by update mass, and streams drawn from the data hit the
+        fact table most — rooting there makes the bulk of all deltas
+        root-local.  ``fused_deltas`` selects the one-pass multi-delta
+        propagation for batches (off: one propagation per touched relation,
+        the PR-3 path, kept for ablation and equivalence testing);
+        ``parallel_deltas`` additionally dispatches independent same-level
+        subtree groups of the fused pass onto the shared worker pool —
+        results are bit-identical either way.
+        """
         super().__init__(schema_database, query, features, root_relation, root_strategy)
+        self.supports_fused_deltas = bool(fused_deltas)
+        self.parallel_deltas = bool(parallel_deltas)
         # One payload view per node: join key -> covariance payload of the subtree.
-        self._views: Dict[str, PayloadStore] = {
-            node.relation_name: PayloadStore(len(self.features))
-            for node in self.join_tree.nodes()
-        }
+        # Each view's payloads can only involve the features designated inside
+        # its subtree; recording that support lets single-feature views (e.g.
+        # a price-only dimension) multiply through thin column updates.
+        self._views: Dict[str, PayloadStore] = {}
+        for node in self.join_tree.nodes():
+            view = PayloadStore(len(self.features))
+            view.support = tuple(
+                sorted(
+                    self._feature_positions[feature]
+                    for child in node.subtree_nodes()
+                    for feature in self.features_of(child.relation_name)
+                )
+            )
+            self._views[node.relation_name] = view
         # For every non-root node, an index of its parent's relation on the
         # node's connection attributes, used by the per-tuple delta path.
         self._parent_indexes: Dict[str, JoinIndex] = {}
@@ -157,12 +209,40 @@ class FIVM(CovarianceMaintainer):
                 mirror.register_float(feature)
             # The node's own connection key only ever groups contributions;
             # each child's key is joined against, so it tracks row buckets.
-            mirror.register_key(self._conn_attrs[node.relation_name], track_buckets=False)
+            # The root's empty connection key groups everything into one
+            # entry, which the hop handles directly — no encoding needed.
+            if self._conn_attrs[node.relation_name]:
+                mirror.register_key(
+                    self._conn_attrs[node.relation_name], track_buckets=False
+                )
             for child in node.children:
                 mirror.register_key(self._conn_attrs[child.relation_name])
             self._mirrors[node.relation_name] = mirror
         # (parent, sibling) -> cached mirror-key-code -> sibling-view-slot map.
         self._slot_maps: Dict[Tuple[str, str], _SlotMap] = {}
+        # Indexed-relation name -> the parent indexes over it, so the
+        # after-hook touches only the affected indexes.
+        self._indexes_by_relation: Dict[str, List[JoinIndex]] = {}
+        for index in self._parent_indexes.values():
+            self._indexes_by_relation.setdefault(index.relation.name, []).append(index)
+        # The fused pass's traversal plan: tree levels deepest-first, each a
+        # list of per-parent node groups (the unit of parallel dispatch).
+        self._schedule = subtree_schedule(self.join_tree)
+        # Per relation: the node names on its leaf-to-root path, and the
+        # memoised per-touched-set mini-schedules derived from them (a batch
+        # only ever activates the union of its touched relations' paths, so
+        # the pass iterates a pruned plan instead of the whole tree).
+        self._paths: Dict[str, List[str]] = {}
+        for node in self.join_tree.nodes():
+            path: List[str] = []
+            current: Optional[JoinTreeNode] = node
+            while current is not None:
+                path.append(current.relation_name)
+                current = current.parent
+            self._paths[node.relation_name] = path
+        self._plan_cache: Dict[
+            frozenset, Tuple[List[List[List[JoinTreeNode]]], Tuple[str, ...]]
+        ] = {}
 
     # -- helpers ------------------------------------------------------------------------------
 
@@ -247,16 +327,29 @@ class FIVM(CovarianceMaintainer):
 
     # -- batched maintenance --------------------------------------------------------------------
 
-    def _apply_delta_group(
-        self, relation_name: str, rows: List[Tuple], multiplicities: np.ndarray
-    ) -> None:
-        node = self.join_tree.node(relation_name)
+    def _group_delta(
+        self, node: JoinTreeNode, rows: List[Tuple], multiplicities: np.ndarray
+    ) -> Optional[Tuple[List[Tuple], CovarianceBlock]]:
+        """One update group's delta at its own node: ``(keys, block)`` or None.
+
+        The group is lifted into one block, joined against the (current)
+        child views, and grouped by the node's connection key — the starting
+        delta both the per-relation and the fused propagation push upwards.
+        The rows are transposed once (``zip(*rows)``) so feature columns and
+        key probes read whole C-level columns instead of indexing every row
+        tuple per attribute.
+        """
+        relation_name = node.relation_name
+        columns = list(zip(*rows))
 
         # Lift the whole group in one block (scaled by its multiplicities).
+        plan = self._lift_plans[relation_name]
         features = np.zeros((len(rows), len(self.features)))
-        for source, target in self._lift_plans[relation_name]:
-            features[:, target] = [float(row[source]) for row in rows]
-        block = CovarianceBlock.lift(features, multiplicities)
+        for source, target in plan:
+            features[:, target] = np.asarray(columns[source], dtype=np.float64)
+        block = CovarianceBlock.lift(
+            features, multiplicities, [target for _source, target in plan]
+        )
 
         # Join the lifted delta against the children's views (one slot probe
         # per row); rows whose key misses any child view produce no delta.
@@ -266,44 +359,197 @@ class FIVM(CovarianceMaintainer):
             positions = self._child_key_positions[(relation_name, child.relation_name)]
             view = self._views[child.relation_name]
             if len(positions) == 1:
-                position = positions[0]
-                row_keys = [(row[position],) for row in rows]
+                row_keys = [(value,) for value in columns[positions[0]]]
             else:
-                row_keys = [
-                    tuple(row[position] for position in positions) for row in rows
-                ]
+                row_keys = list(zip(*(columns[position] for position in positions)))
             slots = view.slots_for(row_keys)
             live = slots >= 0
             if not live.all():
                 alive = alive[live[alive]]
             gathers.append((view, slots))
         if alive.size == 0:
-            return
+            return None
         if alive.size < len(rows):
             block = block.take(alive)
+        conn_positions = self._conn_positions[relation_name]
+        if not conn_positions:
+            # The root's empty connection key: one target group.  The last
+            # child multiply fuses with the sum-to-one reduction, so the
+            # chain never materialises a full product stack for the root.
+            for view, slots in gathers[:-1]:
+                block = view.multiply_into(block, slots[alive])
+            if gathers:
+                view, slots = gathers[-1]
+                return [()], view.multiply_into_total(block, slots[alive])
+            return [()], block.total_block()
         for view, slots in gathers:
-            block = block.multiply(view.gather(slots[alive]))
+            block = view.multiply_into(block, slots[alive])
 
         # Group the surviving delta rows by the node's connection key.
-        conn_positions = self._conn_positions[relation_name]
+        scalar = len(conn_positions) == 1
+        if scalar:
+            probes = columns[conn_positions[0]]
+        else:
+            probes = list(zip(*(columns[position] for position in conn_positions)))
+        if alive.size < len(rows):
+            probes = [probes[position] for position in alive.tolist()]
         key_index: Dict[object, int] = {}
         delta_keys: List[Tuple] = []
         codes = np.empty(alive.size, dtype=np.int64)
-        scalar = len(conn_positions) == 1
-        for output, position in enumerate(alive.tolist()):
-            row = rows[position]
-            if scalar:
-                probe = row[conn_positions[0]]
-            else:
-                probe = tuple(row[index] for index in conn_positions)
+        for output, probe in enumerate(probes):
             code = key_index.get(probe)
             if code is None:
                 code = len(delta_keys)
                 key_index[probe] = code
                 delta_keys.append((probe,) if scalar else probe)
             codes[output] = code
-        delta_block = block.segment_sum(codes, len(delta_keys))
-        self._propagate(node, delta_keys, delta_block)
+        return delta_keys, block.segment_sum(codes, len(delta_keys))
+
+    def _apply_delta_group(
+        self, relation_name: str, rows: List[Tuple], multiplicities: np.ndarray
+    ) -> None:
+        """Per-relation propagation: one group's delta pushed to the root."""
+        node = self.join_tree.node(relation_name)
+        delta = self._group_delta(node, rows, multiplicities)
+        if delta is None:
+            return
+        keys, block = delta
+        while True:
+            self._views[node.relation_name].scatter_add(keys, block)
+            if node.parent is None:
+                return
+            hop = self._hop(node, keys, block)
+            if hop is None:
+                return
+            keys, block = hop
+            node = node.parent
+
+    def _batch_schedule(
+        self, touched
+    ) -> Tuple[List[List[List[JoinTreeNode]]], Tuple[str, ...]]:
+        """The pruned traversal plan for one batch's touched relations.
+
+        Only nodes on a touched relation's leaf-to-root path can carry a
+        delta, so the full level schedule is filtered down to them —
+        preserving level order and within-group tree order, which keeps the
+        pruned pass bit-identical to the full one.  Plans are memoised per
+        touched-relation set (streams repeat batch shapes).
+        """
+        key = frozenset(touched)
+        cached = self._plan_cache.get(key)
+        if cached is None:
+            active: set = set()
+            for name in key:
+                active.update(self._paths[name])
+            plan: List[List[List[JoinTreeNode]]] = []
+            for level in self._schedule:
+                filtered = [
+                    [node for node in group if node.relation_name in active]
+                    for group in level
+                ]
+                filtered = [group for group in filtered if group]
+                if filtered:
+                    plan.append(filtered)
+            if len(self._plan_cache) >= 64:
+                self._plan_cache.clear()
+            cached = (plan, tuple(sorted(active)))
+            self._plan_cache[key] = cached
+        return cached
+
+    def _apply_multi_delta(
+        self, groups: List[Tuple[str, List[Tuple], np.ndarray]]
+    ) -> None:
+        """The fused pass: every touched relation's delta in one traversal.
+
+        The schedule walks the tree deepest level first, in two phases per
+        level.  Phase A computes the *own-group deltas* of the level's nodes
+        — each reads only the node's (already final) child views, so the
+        computations are mutually independent and, with ``parallel_deltas``,
+        run concurrently on the shared subtree pool.  Phase B then merges
+        each node's child contributions with its own delta (children first,
+        in tree order, then the own group — a fixed order, so the
+        floating-point result is reproducible), adds the merged delta to the
+        node's view, and hops it to the parent once; the per-parent groups
+        of a level touch disjoint state and also dispatch concurrently,
+        while *within* a group the tree order is preserved (a node's delta
+        must land in its view before a later sibling's hop reads it).  Every
+        pending list is written by exactly one group and every own delta is
+        order-independent, so the parallel schedule is bit-identical to the
+        sequential one.
+        """
+        started = time.perf_counter_ns()
+        grouped: Dict[str, Tuple[List[Tuple], np.ndarray]] = {
+            name: (rows, multiplicities) for name, rows, multiplicities in groups
+        }
+        schedule, active = self._batch_schedule(grouped)
+        pending: Dict[str, List[Tuple[List[Tuple], CovarianceBlock]]] = {
+            name: [] for name in active
+        }
+        own_deltas: Dict[str, Optional[Tuple[List[Tuple], CovarianceBlock]]] = {}
+
+        def compute_own(node: JoinTreeNode) -> None:
+            rows, multiplicities = grouped[node.relation_name]
+            own_deltas[node.relation_name] = self._group_delta(
+                node, rows, multiplicities
+            )
+
+        def process_group(nodes: List[JoinTreeNode]) -> None:
+            for node in nodes:
+                name = node.relation_name
+                contributions = pending[name]
+                own = own_deltas.get(name)
+                if own is not None:
+                    contributions.append(own)
+                if not contributions:
+                    continue
+                keys, block = merge_keyed_deltas(
+                    contributions, CovarianceBlock.concatenate
+                )
+                self._views[name].scatter_add(keys, block)
+                if node.parent is None:
+                    continue
+                hop = self._hop(node, keys, block)
+                if hop is not None:
+                    pending[node.parent.relation_name].append(hop)
+
+        parallel = self.parallel_deltas
+        for level in schedule:
+            own_nodes = [
+                node
+                for group in level
+                for node in group
+                if node.relation_name in grouped
+            ]
+            if parallel and len(own_nodes) > 1:
+                SubtreeScheduler.run_groups(
+                    [lambda node=node: compute_own(node) for node in own_nodes]
+                )
+            else:
+                for node in own_nodes:
+                    compute_own(node)
+            runnable = [
+                group
+                for group in level
+                if any(
+                    pending[node.relation_name]
+                    or own_deltas.get(node.relation_name) is not None
+                    for node in group
+                )
+            ]
+            if not runnable:
+                continue
+            if parallel and len(runnable) > 1:
+                SubtreeScheduler.run_groups(
+                    [lambda group=group: process_group(group) for group in runnable]
+                )
+            else:
+                for group in runnable:
+                    process_group(group)
+        stats = self.executor_stats
+        stats["delta_passes"] = stats.get("delta_passes", 0) + 1
+        stats["delta_pass_ns"] = (
+            stats.get("delta_pass_ns", 0) + time.perf_counter_ns() - started
+        )
 
     def _multiply_mirror_lift(
         self,
@@ -315,11 +561,13 @@ class FIVM(CovarianceMaintainer):
         """``block[i] * scale(lift(entry i), multiplicity of entry i)``.
 
         Relations with no designated features lift to scaled ones, so the
-        whole multiply collapses to a scale.  Large matched sets take the
-        fused sparse-lift product (fewer FLOPs: no dense outer products);
-        small ones materialise the lifted block and use the general multiply,
-        whose handful of whole-array operations beats the fused path's many
-        small ones when the per-call overhead dominates.
+        whole multiply collapses to a scale.  The fused sparse-lift product
+        wins whenever the designated set is small (its work is
+        ``d_local^2`` thin column updates instead of dense outer products)
+        or the matched set is large; only small blocks of a feature-heavy
+        relation fall back to materialising the lifted block, where the
+        general multiply's few whole-array operations beat the fused path's
+        many small ones.
         """
         multiplicities = mirror.multiplicities[positions]
         local_features = self.features_of(relation_name)
@@ -331,82 +579,105 @@ class FIVM(CovarianceMaintainer):
         features = np.zeros((positions.size, len(self.features)))
         for feature, target in zip(local_features, feature_positions):
             features[:, target] = mirror.float_column(feature)[positions]
-        if positions.size >= 512:
+        if len(feature_positions) <= 2 or positions.size >= 64:
             return block.multiply_lifted(features, multiplicities, feature_positions)
-        return block.multiply(CovarianceBlock.lift(features, multiplicities))
+        return block.multiply(
+            CovarianceBlock.lift(features, multiplicities, feature_positions)
+        )
 
-    def _propagate(
+    def _hop(
         self, node: JoinTreeNode, keys: List[Tuple], block: CovarianceBlock
-    ) -> None:
-        """Add a keyed delta block to ``node``'s view and push it to the root.
+    ) -> Optional[Tuple[List[Tuple], CovarianceBlock]]:
+        """One propagation hop: ``node``'s delta expressed at its parent.
 
-        Each hop joins the delta keys against the parent relation's columnar
+        The hop joins the delta keys against the parent relation's columnar
         mirror: the mirror's per-key buckets (maintained incrementally, so no
         re-encode after mutations) expand the delta to the matched parent
         entries via one ``np.repeat``, the matched entries are lifted in one
         block, the sibling views are gathered by key code, and the result is
         segment-summed by the parent's own connection key — the per-tuple
-        delta rule with every step over whole arrays.
+        delta rule with every step over whole arrays.  Returns the parent's
+        ``(keys, block)`` delta, or None when nothing joins.
         """
-        while True:
-            self._views[node.relation_name].scatter_add(keys, block)
-            parent = node.parent
-            if parent is None:
-                return
-            mirror = self._mirrors[parent.relation_name]
-            offsets, positions = mirror.buckets_for(
-                self._conn_attrs[node.relation_name], keys
-            )
-            if positions.size == 0:
-                return
-            item_index = np.repeat(
-                np.arange(len(keys), dtype=np.int64), np.diff(offsets)
-            )
-            contribution = self._multiply_mirror_lift(
-                block.take(item_index), parent.relation_name, mirror, positions
-            )
+        parent = node.parent
+        mirror = self._mirrors[parent.relation_name]
+        offsets, positions = mirror.buckets_for(
+            self._conn_attrs[node.relation_name], keys
+        )
+        if positions.size == 0:
+            return None
+        item_index = np.repeat(
+            np.arange(len(keys), dtype=np.int64), offsets[1:] - offsets[:-1]
+        )
+        contribution = self._multiply_mirror_lift(
+            block.take(item_index), parent.relation_name, mirror, positions
+        )
 
-            # Multiply in the other children's payloads at the matched entries.
-            alive = np.arange(positions.size, dtype=np.int64)
-            gathers: List[Tuple[PayloadStore, np.ndarray]] = []
-            for sibling in parent.children:
-                if sibling is node:
-                    continue
-                codes, key_list = mirror.key_codes(
-                    self._conn_attrs[sibling.relation_name]
+        # Multiply in the other children's payloads at the matched entries.
+        alive = np.arange(positions.size, dtype=np.int64)
+        gathers: List[Tuple[PayloadStore, np.ndarray]] = []
+        for sibling in parent.children:
+            if sibling is node:
+                continue
+            codes, key_list = mirror.key_codes(
+                self._conn_attrs[sibling.relation_name]
+            )
+            view = self._views[sibling.relation_name]
+            map_key = (parent.relation_name, sibling.relation_name)
+            slot_map = self._slot_maps.get(map_key)
+            if slot_map is None:
+                slot_map = _SlotMap(view)
+                self._slot_maps[map_key] = slot_map
+            slots = slot_map.lookup(key_list)[codes[positions]]
+            live = slots >= 0
+            if not live.all():
+                alive = alive[live[alive]]
+            gathers.append((view, slots))
+        if alive.size == 0:
+            return None
+        if alive.size < positions.size:
+            contribution = contribution.take(alive)
+            positions = positions[alive]
+
+        # When the whole delta collapses onto a single parent key (the
+        # root's empty connection key — most hops under update-mass rooting
+        # — or a one-key mirror), the final sibling multiply fuses with the
+        # sum-to-one reduction: every ring term becomes a dot product, no
+        # per-entry product stack is materialised.
+        parent_conn = self._conn_attrs[parent.relation_name]
+        single_key: Optional[Tuple] = None
+        conn_codes = conn_keys = None
+        if not parent_conn:
+            single_key = ()
+        else:
+            conn_codes, conn_keys = mirror.key_codes(parent_conn)
+            if len(conn_keys) == 1:
+                single_key = conn_keys[0]
+        if single_key is not None:
+            for view, slots in gathers[:-1]:
+                contribution = view.multiply_into(contribution, slots[alive])
+            if gathers:
+                view, slots = gathers[-1]
+                return [single_key], view.multiply_into_total(
+                    contribution, slots[alive]
                 )
-                view = self._views[sibling.relation_name]
-                map_key = (parent.relation_name, sibling.relation_name)
-                slot_map = self._slot_maps.get(map_key)
-                if slot_map is None:
-                    slot_map = _SlotMap(view)
-                    self._slot_maps[map_key] = slot_map
-                slots = slot_map.lookup(key_list)[codes[positions]]
-                live = slots >= 0
-                if not live.all():
-                    alive = alive[live[alive]]
-                gathers.append((view, slots))
-            if alive.size == 0:
-                return
-            if alive.size < positions.size:
-                contribution = contribution.take(alive)
-                positions = positions[alive]
-            for view, slots in gathers:
-                contribution = contribution.multiply(view.gather(slots[alive]))
+            return [single_key], contribution.total_block()
 
-            conn_codes, conn_keys = mirror.key_codes(
-                self._conn_attrs[parent.relation_name]
-            )
-            compact, present = _compact_codes(conn_codes[positions], len(conn_keys))
-            block = contribution.segment_sum(compact, present.size)
-            keys = [conn_keys[code] for code in present.tolist()]
-            node = parent
+        for view, slots in gathers:
+            contribution = view.multiply_into(contribution, slots[alive])
+        compact, present = _compact_codes(conn_codes[positions], len(conn_keys))
+        return (
+            [conn_keys[code] for code in present.tolist()],
+            contribution.segment_sum(compact, present.size),
+        )
 
     def _after_delta_group(self, relation_name, rows, multiplicities) -> None:
-        for index in self._parent_indexes.values():
-            if index.relation.name == relation_name and index.is_built:
-                for row, multiplicity in zip(rows, multiplicities):
-                    index.add(row, int(multiplicity))
+        indexes = self._indexes_by_relation.get(relation_name)
+        if indexes:
+            for index in indexes:
+                if index.is_built:
+                    for row, multiplicity in zip(rows, multiplicities):
+                        index.add(row, int(multiplicity))
         mirror = self._mirrors.get(relation_name)
         if mirror is not None:
             mirror.append_rows(rows, multiplicities)

@@ -28,7 +28,8 @@ __all__ = ["PayloadStore"]
 class PayloadStore:
     """Key-coded covariance payloads: one slot per join key, stacked arrays."""
 
-    __slots__ = ("dimension", "_slots", "_keys", "counts", "sums", "moments")
+    __slots__ = ("dimension", "_slots", "_keys", "counts", "sums", "moments",
+                 "support")
 
     def __init__(self, dimension: int, capacity: int = 8) -> None:
         self.dimension = dimension
@@ -38,6 +39,11 @@ class PayloadStore:
         self.counts = np.zeros(capacity)
         self.sums = np.zeros((capacity, dimension))
         self.moments = np.zeros((capacity, dimension, dimension))
+        #: Feature positions this store's payloads can be nonzero at, when
+        #: the owner knows them (a view's payloads only involve the features
+        #: designated inside its subtree).  None means unknown/dense; ring
+        #: consumers use small supports to skip dense outer products.
+        self.support: Optional[Tuple[int, ...]] = None
 
     def __len__(self) -> int:
         return len(self._keys)
@@ -83,13 +89,11 @@ class PayloadStore:
         """Slot per key (-1 for misses), probing the key dictionary once each."""
         get = self._slots.get
         if not create:
-            return np.fromiter(
-                (get(key, -1) for key in keys), dtype=np.int64, count=len(keys)
-            )
-        return np.fromiter(
-            (self.slot_of(key, create=True) for key in keys),
-            dtype=np.int64,
-            count=len(keys),
+            # A list comprehension beats fromiter-over-generator here (no
+            # generator frame per probe), and this is the hot join probe.
+            return np.array([get(key, -1) for key in keys], dtype=np.int64)
+        return np.array(
+            [self.slot_of(key, create=True) for key in keys], dtype=np.int64
         )
 
     # -- per-tuple access (the single-update path) ---------------------------------------
@@ -129,8 +133,62 @@ class PayloadStore:
             self.counts[slots], self.sums[slots], self.moments[slots]
         )
 
+    def gather_point(
+        self, slots: np.ndarray, position: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Counts, sums and squared moments at one feature position.
+
+        For single-feature-support stores (see :attr:`support`): three thin
+        columns describe the payloads completely, so consumers gather
+        ``O(k)`` floats instead of a full ``(k, d, d)`` stack and multiply
+        through :meth:`~repro.rings.covariance.CovarianceBlock.multiply_point`.
+        """
+        return (
+            self.counts[slots],
+            self.sums[slots, position],
+            self.moments[slots, position, position],
+        )
+
+    def multiply_into(self, block: CovarianceBlock, slots: np.ndarray) -> CovarianceBlock:
+        """``block[i] * payload(slots[i])``, exploiting a known small support."""
+        support = self.support
+        if support is not None and len(support) == 0:
+            # Count-only payloads: the ring product collapses to a scale.
+            return block.scale(self.counts[slots])
+        if support is not None and len(support) == 1:
+            position = support[0]
+            return block.multiply_point(*self.gather_point(slots, position), position)
+        return block.multiply(self.gather(slots))
+
+    def multiply_into_total(
+        self, block: CovarianceBlock, slots: np.ndarray
+    ) -> CovarianceBlock:
+        """:meth:`multiply_into` fused with a sum-to-one-row reduction.
+
+        The terminal multiply of a delta collapsing onto a single connection
+        key; dispatches to the fused dot-product kernels so no ``(k, d, d)``
+        intermediate is materialised.
+        """
+        support = self.support
+        if support is not None and len(support) == 0:
+            return block.scale_total(self.counts[slots])
+        if support is not None and len(support) == 1:
+            position = support[0]
+            return block.multiply_point_total(
+                *self.gather_point(slots, position), position
+            )
+        return block.multiply_total(self.gather(slots))
+
     def scatter_add(self, keys: Sequence[Tuple], block: CovarianceBlock) -> np.ndarray:
         """Add one block row per (distinct) key; returns the slot array used."""
+        if len(keys) == 1:
+            # The root's single empty key is the hottest scatter: basic
+            # indexing beats a one-element fancy-index add.
+            slot = self.slot_of(keys[0], create=True)
+            self.counts[slot] += block.counts[0]
+            self.sums[slot] += block.sums[0]
+            self.moments[slot] += block.moments[0]
+            return np.array([slot], dtype=np.int64)
         slots = self.slots_for(keys, create=True)
         self.counts[slots] += block.counts
         self.sums[slots] += block.sums

@@ -63,14 +63,15 @@ class GroupByRing(Ring):
         return {key: self.inner.negate(value) for key, value in element.items()}
 
     def equal(self, left: Mapping[GroupKey, Any], right: Mapping[GroupKey, Any]) -> bool:
-        left_clean = {key: value for key, value in left.items() if not self._is_zero(value)}
-        right_clean = {key: value for key, value in right.items() if not self._is_zero(value)}
-        if set(left_clean) != set(right_clean):
-            return False
-        return all(self.inner.equal(left_clean[key], right_clean[key]) for key in left_clean)
-
-    def _is_zero(self, value: Any) -> bool:
-        return self.inner.equal(value, self.inner.zero())
+        # A missing key denotes the inner zero: comparing the union of keys
+        # against that default (instead of first *dropping* near-zero entries
+        # and matching key sets) keeps values right at the zero tolerance from
+        # flipping the comparison when only one side rounds across it.
+        zero = self.inner.zero()
+        return all(
+            self.inner.equal(left.get(key, zero), right.get(key, zero))
+            for key in set(left) | set(right)
+        )
 
     # -- lifting ----------------------------------------------------------------------------
 

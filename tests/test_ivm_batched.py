@@ -269,14 +269,20 @@ def test_relation_change_log_reconstructs_small_deltas():
 
 
 def _values_match(left, right):
+    # Relative tolerance: covariance sums reach ~1e12, where equivalent
+    # computations that merely reorder float additions (root patching vs a
+    # full recompute) differ by far more than any absolute epsilon.
     assert set(left) == set(right)
     for name in left:
         a, b = left[name], right[name]
         if isinstance(a, dict):
             keys = set(a) | set(b)
-            assert all(abs(a.get(k, 0.0) - b.get(k, 0.0)) < 1e-6 for k in keys), name
+            assert all(
+                np.isclose(a.get(k, 0.0), b.get(k, 0.0), rtol=1e-9, atol=1e-6)
+                for k in keys
+            ), name
         else:
-            assert abs(a - b) < 1e-6, name
+            assert np.isclose(a, b, rtol=1e-9, atol=1e-6), name
 
 
 @pytest.mark.parametrize("dataset", ["retailer", "yelp"])

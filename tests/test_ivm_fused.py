@@ -1,0 +1,443 @@
+"""The fused multi-delta pass, subtree parallelism and root patching (PR 4).
+
+Equivalence guarantees of the one-pass propagation:
+
+- fused vs. per-relation propagation on randomized multi-relation
+  insert/delete batches (including multiplicities that cancel inside one
+  batch) — identical payloads up to float reassociation;
+- ``parallel_deltas`` on vs. off — **bit-identical** payload stores (the
+  scheduler only reorders independent work);
+- the engine's root-payload patching vs. a full root recompute — equal
+  aggregate values to float tolerance (patching may keep ~0.0 groups a
+  recompute drops).
+
+Plus units for the new primitives: keyed-delta merging, the level/parent
+schedule, sparse lifts, single-support ring products, and the ``largest``
+root strategy.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.aggregates import covariance_batch
+from repro.data import Relation, Schema
+from repro.datasets import load_dataset, retailer_database, retailer_query
+from repro.engine import EngineOptions, LMFAOEngine
+from repro.engine.deltas import merge_keyed_deltas, subtree_schedule
+from repro.engine.executor import STAT_ROOT_PATCHED, SubtreeScheduler
+from repro.ivm import FIVM, Update
+from repro.rings.covariance import CovarianceBlock, CovarianceRing
+
+FEATURES = ["inventoryunits", "prize", "maxtemp"]
+
+
+@pytest.fixture(scope="module")
+def ivm_source():
+    database = retailer_database(inventory_rows=200, stores=5, items=10, dates=8, seed=33)
+    return database, retailer_query()
+
+
+def _payloads_match(left, right):
+    return (
+        np.isclose(left.count, right.count)
+        and np.allclose(left.sums, right.sums)
+        and np.allclose(left.moments, right.moments)
+    )
+
+
+def _payloads_identical(left, right):
+    return (
+        left.count == right.count
+        and np.array_equal(left.sums, right.sums)
+        and np.array_equal(left.moments, right.moments)
+    )
+
+
+def _random_stream(database, seed, length, delete_fraction=0.3, cancel_fraction=0.2):
+    rng = random.Random(seed)
+    rows_per_relation = {relation.name: list(relation) for relation in database}
+    updates = []
+    inserted = {name: [] for name in rows_per_relation}
+    for _ in range(length):
+        name = rng.choice(list(rows_per_relation))
+        if inserted[name] and rng.random() < delete_fraction:
+            row = rng.choice(inserted[name])
+            updates.append(Update(name, row, -1))
+            inserted[name].remove(row)
+        else:
+            row = rng.choice(rows_per_relation[name])
+            updates.append(Update(name, row, 1))
+            inserted[name].append(row)
+            if rng.random() < cancel_fraction:
+                updates.append(Update(name, row, -1))
+                inserted[name].remove(row)
+    return updates
+
+
+# -- fused vs. per-relation propagation -------------------------------------------------
+
+
+@pytest.mark.parametrize("batch_size", [5, 23, 400])
+def test_fused_matches_per_relation(ivm_source, batch_size):
+    database, query = ivm_source
+    stream = _random_stream(database, seed=7, length=400)
+    fused = FIVM(database, query, FEATURES)
+    unfused = FIVM(database, query, FEATURES, fused_deltas=False)
+    assert fused.supports_fused_deltas and not unfused.supports_fused_deltas
+    for start in range(0, len(stream), batch_size):
+        fused.apply_batch(stream[start : start + batch_size])
+        unfused.apply_batch(stream[start : start + batch_size])
+    assert _payloads_match(fused.statistics(), unfused.statistics())
+    assert _payloads_match(fused.statistics(), fused.recompute_statistics())
+    # The maintained per-node views agree too, not just the root payload.
+    for name, view in fused._views.items():
+        other = unfused._views[name]
+        assert set(view.keys()) == set(other.keys())
+
+
+def test_fused_matches_recomputation_under_cancellation(ivm_source):
+    database, query = ivm_source
+    stream = _random_stream(database, seed=19, length=300, cancel_fraction=0.5)
+    maintainer = FIVM(database, query, FEATURES)
+    for start in range(0, len(stream), 50):
+        maintainer.apply_batch(stream[start : start + 50])
+    assert _payloads_match(maintainer.statistics(), maintainer.recompute_statistics())
+    assert maintainer.executor_stats["delta_passes"] > 0
+    assert maintainer.executor_stats["delta_pass_ns"] > 0
+
+
+def test_fused_interleaves_with_per_tuple(ivm_source):
+    database, query = ivm_source
+    stream = _random_stream(database, seed=3, length=240)
+    maintainer = FIVM(database, query, FEATURES)
+    cursor = 0
+    rng = random.Random(8)
+    while cursor < len(stream):
+        if rng.random() < 0.4:
+            maintainer.apply(stream[cursor])
+            cursor += 1
+        else:
+            step = rng.choice([4, 30, 77])
+            maintainer.apply_batch(stream[cursor : cursor + step])
+            cursor += step
+    assert _payloads_match(maintainer.statistics(), maintainer.recompute_statistics())
+
+
+# -- parallel subtree schedule ----------------------------------------------------------
+
+
+@pytest.fixture
+def force_pool(monkeypatch):
+    """Pretend the machine is multi-core so the thread-pool path runs.
+
+    ``SubtreeScheduler.run_groups`` falls back to inline execution on
+    single-core machines (where threads cannot overlap); CI containers are
+    often single-core, which would leave the pool dispatch, level barriers
+    and the bit-identity claim untested.
+    """
+    import repro.engine.executor as executor_module
+
+    monkeypatch.setattr(executor_module._os, "cpu_count", lambda: 4)
+
+
+@pytest.mark.parametrize("batch_size", [7, 150])
+def test_parallel_deltas_bit_identical(ivm_source, force_pool, batch_size):
+    database, query = ivm_source
+    stream = _random_stream(database, seed=11, length=350)
+    serial = FIVM(database, query, FEATURES)
+    parallel = FIVM(database, query, FEATURES, parallel_deltas=True)
+    for start in range(0, len(stream), batch_size):
+        serial.apply_batch(stream[start : start + batch_size])
+        parallel.apply_batch(stream[start : start + batch_size])
+    assert _payloads_identical(serial.statistics(), parallel.statistics())
+    for name, view in serial._views.items():
+        other = parallel._views[name]
+        assert view.keys() == other.keys()
+        size = len(view)
+        assert np.array_equal(view.counts[:size], other.counts[:size])
+        assert np.array_equal(view.sums[:size], other.sums[:size])
+        assert np.array_equal(view.moments[:size], other.moments[:size])
+
+
+def test_subtree_scheduler_runs_all_and_propagates_errors(force_pool):
+    seen = []
+    SubtreeScheduler.run_groups([lambda: seen.append(1)])
+    SubtreeScheduler.run_groups([lambda: seen.append(2), lambda: seen.append(3)])
+    assert sorted(seen) == [1, 2, 3]
+
+    def boom():
+        raise RuntimeError("unit failure")
+
+    marker = []
+    with pytest.raises(RuntimeError, match="unit failure"):
+        SubtreeScheduler.run_groups([boom, lambda: marker.append(1)])
+    # The healthy unit still ran to completion (level barrier semantics).
+    assert marker == [1]
+
+
+def test_subtree_scheduler_inline_on_single_core(monkeypatch):
+    import repro.engine.executor as executor_module
+
+    monkeypatch.setattr(executor_module._os, "cpu_count", lambda: 1)
+    seen = []
+    SubtreeScheduler.run_groups([lambda: seen.append(1), lambda: seen.append(2)])
+    assert seen == [1, 2]  # inline preserves list order
+
+    def boom():
+        raise RuntimeError("inline failure")
+
+    marker = []
+    with pytest.raises(RuntimeError, match="inline failure"):
+        SubtreeScheduler.run_groups([boom, lambda: marker.append(1)])
+    assert marker == [1]
+
+
+def test_subtree_schedule_levels_and_groups(ivm_source):
+    database, query = ivm_source
+    maintainer = FIVM(database, query, FEATURES)
+    schedule = subtree_schedule(maintainer.join_tree)
+    # Deepest level first; the last level is exactly the root.
+    assert [node.relation_name for node in schedule[-1][0]] == [
+        maintainer.join_tree.root.relation_name
+    ]
+    seen = set()
+    for level in schedule:
+        for group in level:
+            parents = {
+                node.parent.relation_name if node.parent else None for node in group
+            }
+            assert len(parents) == 1  # a group shares one parent
+            for node in group:
+                # Children are always scheduled before their parent.
+                for child in node.children:
+                    assert child.relation_name in seen
+                seen.add(node.relation_name)
+    assert len(seen) == len(list(maintainer.join_tree.nodes()))
+
+
+# -- keyed-delta merging ----------------------------------------------------------------
+
+
+def test_merge_keyed_deltas_orders_and_sums():
+    rng = np.random.default_rng(4)
+    dim = 2
+    ring = CovarianceRing(dim)
+
+    def block(rows):
+        return CovarianceBlock(
+            rng.normal(size=rows),
+            rng.normal(size=(rows, dim)),
+            rng.normal(size=(rows, dim, dim)),
+        )
+
+    first = (["a", "b"], block(2))
+    second = (["b", "c"], block(2))
+    keys, merged = merge_keyed_deltas([first, second], CovarianceBlock.concatenate)
+    assert keys == ["a", "b", "c"]  # first-seen order
+    expected_b = ring.add(first[1].payload_at(1), second[1].payload_at(0))
+    assert _payloads_match(merged.payload_at(1), expected_b)
+    assert _payloads_match(merged.payload_at(0), first[1].payload_at(0))
+    assert _payloads_match(merged.payload_at(2), second[1].payload_at(1))
+
+    # Identical key lists take the elementwise fast path; same result.
+    third = (["a", "b"], block(2))
+    keys2, merged2 = merge_keyed_deltas([first, third], CovarianceBlock.concatenate)
+    assert keys2 == ["a", "b"]
+    for position in range(2):
+        assert _payloads_match(
+            merged2.payload_at(position),
+            ring.add(first[1].payload_at(position), third[1].payload_at(position)),
+        )
+
+    # A single contribution passes through untouched.
+    same_keys, same_block = merge_keyed_deltas([first], CovarianceBlock.concatenate)
+    assert same_keys is first[0] and same_block is first[1]
+
+
+# -- ring primitives --------------------------------------------------------------------
+
+
+def test_sparse_lift_matches_dense():
+    rng = np.random.default_rng(9)
+    size, dim = 17, 6
+    positions = [1, 4]
+    features = np.zeros((size, dim))
+    for position in positions:
+        features[:, position] = rng.normal(size=size)
+    weights = rng.integers(-2, 3, size=size).astype(float)
+    sparse = CovarianceBlock.lift(features, weights, positions)
+    dense = CovarianceBlock.lift(features, weights)
+    assert np.allclose(sparse.counts, dense.counts)
+    assert np.allclose(sparse.sums, dense.sums)
+    assert np.allclose(sparse.moments, dense.moments)
+    # Unweighted variant too.
+    sparse1 = CovarianceBlock.lift(features, None, positions)
+    dense1 = CovarianceBlock.lift(features)
+    assert np.allclose(sparse1.moments, dense1.moments)
+
+
+def test_multiply_point_matches_general():
+    rng = np.random.default_rng(13)
+    size, dim = 11, 5
+    position = 3
+    block = CovarianceBlock(
+        rng.normal(size=size),
+        rng.normal(size=(size, dim)),
+        rng.normal(size=(size, dim, dim)),
+    )
+    counts = rng.normal(size=size)
+    sums_at = rng.normal(size=size)
+    moments_at = rng.normal(size=size)
+    other = CovarianceBlock.zeros(size, dim)
+    other.counts[:] = counts
+    other.sums[:, position] = sums_at
+    other.moments[:, position, position] = moments_at
+    fused = block.multiply_point(counts, sums_at, moments_at, position)
+    general = block.multiply(other)
+    assert np.allclose(fused.counts, general.counts)
+    assert np.allclose(fused.sums, general.sums)
+    assert np.allclose(fused.moments, general.moments)
+
+
+def test_segment_sum_single_group_fast_path():
+    rng = np.random.default_rng(2)
+    block = CovarianceBlock(
+        rng.normal(size=9), rng.normal(size=(9, 3)), rng.normal(size=(9, 3, 3))
+    )
+    summed = block.segment_sum(np.zeros(9, dtype=np.int64), 1)
+    assert np.isclose(summed.counts[0], block.counts.sum())
+    assert np.allclose(summed.sums[0], block.sums.sum(axis=0))
+    assert np.allclose(summed.moments[0], block.moments.sum(axis=0))
+
+
+# -- update-mass rooting ----------------------------------------------------------------
+
+
+def test_largest_root_strategy_roots_at_fact_table(ivm_source):
+    database, query = ivm_source
+    maintainer = FIVM(database, query, FEATURES)  # default: "largest"
+    largest = max(query.relation_names, key=lambda name: len(database.relation(name)))
+    assert maintainer.join_tree.root.relation_name == largest
+    forced = FIVM(database, query, FEATURES, root_strategy="cost")
+    stream = _random_stream(database, seed=21, length=150)
+    maintainer.apply_batch(stream)
+    forced.apply_batch(stream)
+    assert _payloads_match(maintainer.statistics(), forced.statistics())
+
+
+def test_largest_root_strategy_rejects_unknown(ivm_source):
+    database, query = ivm_source
+    with pytest.raises(ValueError, match="root_strategy"):
+        FIVM(database, query, FEATURES, root_strategy="bogus")
+
+
+# -- engine root patching ---------------------------------------------------------------
+
+
+def _engine_values_match(left, right, rtol=1e-9, atol=1e-6):
+    assert set(left) == set(right)
+    for name in left:
+        a, b = left[name], right[name]
+        if isinstance(a, dict):
+            keys = set(a) | set(b)
+            assert all(
+                np.isclose(a.get(k, 0.0), b.get(k, 0.0), rtol=rtol, atol=atol)
+                for k in keys
+            ), name
+        else:
+            assert np.isclose(a, b, rtol=rtol, atol=atol), name
+
+
+@pytest.mark.parametrize("root", [None, "fact"])
+def test_root_patching_matches_full_recompute(root):
+    database, query, spec = load_dataset(
+        "retailer", inventory_rows=400, stores=6, items=20, dates=10
+    )
+    batch = covariance_batch(spec.continuous_features, spec.categorical_features)
+    fact = max(query.relation_names, key=lambda name: len(database.relation(name)))
+    options = dict(root_relation=fact) if root == "fact" else {}
+    patching = LMFAOEngine(
+        database, query, EngineOptions(root_patching=True, **options)
+    )
+    recompute = LMFAOEngine(
+        database, query, EngineOptions(root_patching=False, **options)
+    )
+    patching.evaluate(batch)
+    recompute.evaluate(batch)
+    rng = random.Random(29)
+    relations = list(query.relation_names)
+    patched = 0
+    for _step in range(10):
+        name = rng.choice(relations)
+        relation = database.relation(name)
+        row = rng.choice(list(relation))
+        sign = -1 if (rng.random() < 0.3 and relation.multiplicity(row) > 0) else 1
+        relation.add(row, sign)
+        left = patching.evaluate(batch)
+        right = recompute.evaluate(batch)
+        _engine_values_match(left.values, right.values)
+        patched += left.executor_stats.get(STAT_ROOT_PATCHED, 0)
+    assert patched > 0
+
+
+def test_root_patching_respects_delta_refresh_limit():
+    database, query, spec = load_dataset(
+        "retailer", inventory_rows=300, stores=5, items=15, dates=8
+    )
+    batch = covariance_batch(spec.continuous_features, spec.categorical_features)
+    fact = max(query.relation_names, key=lambda name: len(database.relation(name)))
+    engine = LMFAOEngine(
+        database,
+        query,
+        EngineOptions(root_relation=fact, delta_refresh_limit=0),
+    )
+    engine.evaluate(batch)
+    row = next(iter(database.relation(fact)))
+    database.relation(fact).add(row, 1)
+    result = engine.evaluate(batch)
+    # Limit 0 disables patching; the root recomputes and stays correct.
+    assert result.executor_stats.get(STAT_ROOT_PATCHED, 0) == 0
+    reference = LMFAOEngine(database, query, EngineOptions(root_relation=fact))
+    _engine_values_match(result.values, reference.evaluate(batch).values)
+    database.relation(fact).add(row, -1)
+
+
+def test_root_patching_handles_deletions_to_float_tolerance():
+    database, query, spec = load_dataset(
+        "retailer", inventory_rows=300, stores=5, items=15, dates=8
+    )
+    batch = covariance_batch(spec.continuous_features, spec.categorical_features)
+    fact = max(query.relation_names, key=lambda name: len(database.relation(name)))
+    engine = LMFAOEngine(database, query, EngineOptions(root_relation=fact))
+    engine.evaluate(batch)
+    rows = list(database.relation(fact))[:3]
+    for row in rows:
+        database.relation(fact).add(row, 1)
+        engine.evaluate(batch)
+    for row in rows:
+        database.relation(fact).add(row, -1)
+        result = engine.evaluate(batch)
+    fresh = LMFAOEngine(
+        database, query, EngineOptions(root_relation=fact, cache_views=False)
+    )
+    _engine_values_match(result.values, fresh.evaluate(batch).values)
+
+
+# -- change-log grouping ----------------------------------------------------------------
+
+
+def test_add_batch_logs_one_group():
+    relation = Relation("R", Schema.from_names(["a"], categorical_names=["a"]))
+    start = relation.version
+    relation.add_batch([("x",), ("y",)], [1, 2])
+    assert relation.changes_since(start) == [(("x",), 1), (("y",), 2)]
+    # One batch consumed one log slot, not two.
+    assert len(relation._change_log) == 1
+    # An oversized batch drops coverage instead of pinning the rows.
+    big = [(f"v{i}",) for i in range(500)]
+    version = relation.version
+    relation.add_batch(big, [1] * len(big))
+    assert relation.changes_since(version) is None
+    assert relation.changes_since(relation.version) == []

@@ -1,0 +1,51 @@
+"""The perf-trajectory checker (tools/check_perf_trajectory.py)."""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+import check_perf_trajectory as cpt  # noqa: E402
+
+
+def _report(tuples_per_s, scale="bench"):
+    return {
+        "figures": {
+            f"ivm_throughput_{scale}": {
+                "strategies": {
+                    "fivm": {
+                        "batch_sizes": {"100": {"tuples_per_s": tuples_per_s}}
+                    }
+                }
+            }
+        }
+    }
+
+
+def test_check_series_passes_monotone_and_noise():
+    assert cpt.check_series([(3, 100.0), (4, 200.0)], 0.75) == []
+    # A dip inside the tolerance band passes ...
+    assert cpt.check_series([(3, 100.0), (4, 80.0)], 0.75) == []
+    # ... a real regression fails, against the best earlier figure.
+    violations = cpt.check_series([(3, 100.0), (4, 200.0), (5, 120.0)], 0.75)
+    assert len(violations) == 1 and "PR 5" in violations[0]
+
+
+def test_missing_figures_are_skipped():
+    assert cpt.fivm_batch_throughput({"figures": {}}, "bench", 100) is None
+    assert cpt.fivm_batch_throughput(_report(123.0), "bench", 100) == 123.0
+
+
+def test_main_on_fixture_directory(tmp_path):
+    (tmp_path / "BENCH_PR1.json").write_text(json.dumps({"figures": {}}))
+    (tmp_path / "BENCH_PR3.json").write_text(json.dumps(_report(100.0)))
+    (tmp_path / "BENCH_PR4.json").write_text(json.dumps(_report(210.0)))
+    assert cpt.main(["--root", str(tmp_path)]) == 0
+    (tmp_path / "BENCH_PR5.json").write_text(json.dumps(_report(50.0)))
+    assert cpt.main(["--root", str(tmp_path)]) == 1
+
+
+def test_main_on_repository_trajectory():
+    """The committed BENCH_PR<n>.json files must satisfy the check."""
+    assert cpt.main([]) == 0

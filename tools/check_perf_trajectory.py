@@ -1,0 +1,112 @@
+"""Assert the recorded benchmark trajectory does not regress across PRs.
+
+Loads every ``BENCH_PR<n>.json`` in the repository root and checks that the
+batch-100 F-IVM maintenance throughput — the headline metric of the IVM
+update path, recorded since PR 3 in the ``ivm_throughput_<scale>`` figures —
+is monotonically non-regressing from PR to PR within a noise tolerance.
+PRs that predate a figure (PR 1/2 have no IVM sweep) are skipped for that
+series; a series with fewer than two points passes vacuously.
+
+CI runs this after the benchmark smoke::
+
+    python tools/check_perf_trajectory.py
+    python tools/check_perf_trajectory.py --tolerance 0.75 --metric-batch 100
+
+The tolerance is multiplicative: PR ``n+1`` must reach at least
+``tolerance * max(throughput of PRs <= n)``.  The default of 0.75 absorbs
+the single-core container noise observed between recorded runs while still
+catching a real regression (the PR-over-PR gains being asserted are 2x+).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The scales a trajectory series is built for (skipped when absent).
+SCALES = ("bench", "large")
+
+
+def load_trajectory(root: Path):
+    """All ``BENCH_PR<n>.json`` reports in ``root``, ordered by PR number."""
+    reports = []
+    for path in sorted(root.glob("BENCH_PR*.json")):
+        match = re.fullmatch(r"BENCH_PR(\d+)\.json", path.name)
+        if not match:
+            continue
+        reports.append((int(match.group(1)), json.loads(path.read_text())))
+    reports.sort(key=lambda entry: entry[0])
+    return reports
+
+
+def fivm_batch_throughput(report, scale: str, batch_size: int):
+    """The recorded F-IVM throughput at one batch size (None when absent)."""
+    try:
+        record = report["figures"][f"ivm_throughput_{scale}"]["strategies"]["fivm"][
+            "batch_sizes"
+        ][str(batch_size)]
+        return float(record["tuples_per_s"])
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def check_series(series, tolerance: float):
+    """Violations of monotone non-regression (within ``tolerance``)."""
+    violations = []
+    best_so_far = None
+    best_pr = None
+    for pr, value in series:
+        if best_so_far is not None and value < tolerance * best_so_far:
+            violations.append(
+                f"PR {pr}: {value:,.1f} tuples/s is below {tolerance:.0%} of "
+                f"the PR {best_pr} figure ({best_so_far:,.1f} tuples/s)"
+            )
+        if best_so_far is None or value > best_so_far:
+            best_so_far, best_pr = value, pr
+    return violations
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=str(REPO_ROOT),
+                        help="directory holding the BENCH_PR<n>.json files")
+    parser.add_argument("--tolerance", type=float, default=0.75,
+                        help="allowed noise fraction of the best earlier figure")
+    parser.add_argument("--metric-batch", type=int, default=100,
+                        help="IVM batch size the trajectory is checked at")
+    arguments = parser.parse_args(argv)
+
+    reports = load_trajectory(Path(arguments.root))
+    if not reports:
+        print("no BENCH_PR<n>.json files found; nothing to check")
+        return 0
+
+    failed = False
+    for scale in SCALES:
+        series = []
+        for pr, report in reports:
+            value = fivm_batch_throughput(report, scale, arguments.metric_batch)
+            if value is not None:
+                series.append((pr, value))
+        if len(series) < 2:
+            print(f"[{scale}] fewer than two recorded points; skipped")
+            continue
+        rendered = " -> ".join(f"PR{pr}: {value:,.0f} t/s" for pr, value in series)
+        print(f"[{scale}] batch-{arguments.metric_batch} F-IVM: {rendered}")
+        for violation in check_series(series, arguments.tolerance):
+            failed = True
+            print(f"[{scale}] REGRESSION: {violation}")
+
+    if failed:
+        return 1
+    print("perf trajectory ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
