@@ -34,6 +34,14 @@ propagation, with the batch-100 fused figure compared against the PR-3
 recorded throughput) and the root-payload patching comparison
 (``root_patching``: fact-rooted single-tuple update loops with the cached
 root view patched by a propagated delta vs recomputed from scratch).
+
+Since PR 5 it records the array-native storage figures (``storage``):
+small-batch F-IVM throughput (batch 1/10/100) on the tuple-store backend
+against the PR-4 recorded figures, CSV ingest throughput of the batched
+columnar path vs a per-row ``add`` loop, the store's memory footprint via
+``sys.getsizeof`` sampling against a plain ``dict[tuple, int]``, and the
+``tuplestore_stats`` counters of an insert/delete stream (``full_encodes``
+must stay 0).
 """
 
 from __future__ import annotations
@@ -296,9 +304,9 @@ IVM_FUSED_MODES = [
 ]
 
 
-def _pr3_fivm_reference(scale_name):
-    """The PR-3 recorded F-IVM batch throughputs (None when not available)."""
-    path = REPO_ROOT / "BENCH_PR3.json"
+def _recorded_fivm_reference(pr_number, scale_name):
+    """A prior PR's recorded F-IVM batch throughputs (None when unavailable)."""
+    path = REPO_ROOT / f"BENCH_PR{pr_number}.json"
     if not path.exists():
         return None
     try:
@@ -309,6 +317,11 @@ def _pr3_fivm_reference(scale_name):
         return {size: entry["tuples_per_s"] for size, entry in sizes.items()}
     except (KeyError, TypeError, ValueError):
         return None
+
+
+def _pr3_fivm_reference(scale_name):
+    """The PR-3 recorded F-IVM batch throughputs (None when not available)."""
+    return _recorded_fivm_reference(3, scale_name)
 
 
 def _ivm_fused_timings(scale, scale_name, rounds):
@@ -432,6 +445,133 @@ def _root_patching_timings(scales, rounds, loop_updates: int = 10):
             "speedup": round(off_best / max(on_best, 1e-12), 2),
             "root_patches": patched,
         }
+    return figure
+
+
+#: Small-batch sizes of the PR-5 array-native storage sweep.
+STORAGE_BATCH_SIZES = [1, 10, 100]
+
+
+def _storage_timings(scale, scale_name, rounds):
+    """PR-5 figures: the array-native tuple store across its three claims.
+
+    ``ivm_batches`` measures F-IVM on the small-batch end (1/10/100) where
+    per-row storage upkeep used to dominate; batch 1 and 10 are compared
+    against the PR-4 *recorded per-tuple* (batch-1) figure — PR 4 recorded
+    no batch-10 point, so its per-tuple path is the baseline both small
+    sizes must beat — and batch 100 against the PR-4 batch-100 record.
+    ``csv_ingest`` compares the batched columnar ingest against a per-row
+    ``add`` loop over the same parsed rows.  ``memory`` samples the store's
+    footprint via ``sys.getsizeof`` against a plain ``dict[tuple, int]`` of
+    the same content (the seed's system of record).  ``counters`` replays an
+    insert/delete stream and records the ``tuplestore_stats`` — a non-zero
+    ``full_encodes`` here is a storage regression.
+    """
+    import sys as _sys
+    import tempfile
+
+    from repro.data.csv_io import read_csv, write_csv
+    from repro.data.relation import Relation
+    from repro.data.tuplestore import reset_tuplestore_stats, tuplestore_stats
+
+    database, query, features, updates = _retailer_update_stream(scale)
+    pr4 = _recorded_fivm_reference(4, scale_name) or {}
+    figure = {
+        "stream_length": len(updates),
+        "features": len(features),
+        "pr4_recorded_tuples_per_s": pr4 or None,
+        "ivm_batches": {},
+    }
+    for batch_size in STORAGE_BATCH_SIZES:
+        best = 0.0
+        for _ in range(rounds):
+            maintainer = FIVM(database, query, features)
+            started = time.perf_counter()
+            if batch_size == 1:
+                for update in updates:
+                    maintainer.apply(update)
+            else:
+                for start in range(0, len(updates), batch_size):
+                    maintainer.apply_batch(updates[start : start + batch_size])
+            best = max(best, len(updates) / (time.perf_counter() - started))
+        record = {"tuples_per_s": round(best, 1)}
+        baseline_batch = "1" if batch_size in (1, 10) else "100"
+        baseline = pr4.get(baseline_batch)
+        if baseline:
+            record["pr4_baseline_batch"] = int(baseline_batch)
+            record["speedup_vs_pr4"] = round(best / baseline, 2)
+        figure["ivm_batches"][str(batch_size)] = record
+
+    # CSV ingest: batched columnar path vs a per-row add loop.
+    fact = max(query.relation_names, key=lambda name: len(database.relation(name)))
+    fact_relation = database.relation(fact)
+    with tempfile.TemporaryDirectory() as tmp:
+        csv_path = f"{tmp}/{fact}.csv"
+        write_csv(fact_relation, csv_path)
+        categorical = [
+            name
+            for name in fact_relation.schema.names
+            if fact_relation.schema.is_categorical(name)
+        ]
+        end_to_end_best = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            loaded = read_csv(csv_path, categorical=categorical)
+            end_to_end_best = min(end_to_end_best, time.perf_counter() - started)
+        # Ingest-only comparison over the same parsed rows: one batched
+        # columnar add_batch vs the seed's per-row add loop (parsing is
+        # identical for both and excluded).
+        parsed = loaded.rows()
+        batched_best = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            Relation(fact, loaded.schema, rows=parsed)
+            batched_best = min(batched_best, time.perf_counter() - started)
+        per_row_best = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            slow = Relation(fact, loaded.schema)
+            for row in parsed:
+                slow.add(row, 1)
+            per_row_best = min(per_row_best, time.perf_counter() - started)
+        rows_loaded = len(loaded)
+        figure["csv_ingest"] = {
+            "rows": rows_loaded,
+            "read_csv_seconds": round(end_to_end_best, 6),
+            "read_csv_rows_per_s": round(rows_loaded / max(end_to_end_best, 1e-12), 1),
+            "batched_ingest_seconds": round(batched_best, 6),
+            "per_row_add_seconds": round(per_row_best, 6),
+            "speedup_vs_per_row": round(per_row_best / max(batched_best, 1e-12), 2),
+        }
+
+    # Memory footprint: the array-native store vs a dict[tuple, int].
+    store_bytes = fact_relation._store.memory_footprint()
+    as_dict = dict(fact_relation.items())
+    sample = list(as_dict)[:: max(len(as_dict) // 256, 1)] or [()]
+    per_row = sum(
+        _sys.getsizeof(row) + sum(_sys.getsizeof(value) for value in row)
+        for row in sample
+    ) / len(sample)
+    dict_bytes = int(_sys.getsizeof(as_dict) + per_row * len(as_dict))
+    figure["memory"] = {
+        "rows": len(fact_relation),
+        "tuplestore_bytes": int(store_bytes),
+        "dict_bytes": dict_bytes,
+        "bytes_per_row": round(store_bytes / max(len(fact_relation), 1), 1),
+        "overhead_vs_dict": round(store_bytes / max(dict_bytes, 1), 2),
+    }
+
+    # Storage behaviour counters over an insert/delete stream.
+    reset_tuplestore_stats()
+    maintainer = FIVM(database, query, features)
+    half = len(updates) // 2
+    for update in updates[:half]:
+        maintainer.apply(update)
+    maintainer.apply_batch(updates[half:])
+    maintainer.apply_batch(
+        [Update(u.relation_name, u.row, -1) for u in updates[::2]]
+    )
+    figure["counters"] = dict(tuplestore_stats)
     return figure
 
 
@@ -673,7 +813,7 @@ def main() -> None:
             raise argparse.ArgumentTypeError("must be >= 1")
         return value
 
-    parser.add_argument("--pr", type=positive_int, default=4,
+    parser.add_argument("--pr", type=positive_int, default=5,
                         help="PR number recorded in the trajectory file")
     parser.add_argument("--output", default=None,
                         help="defaults to BENCH_PR<pr>.json in the repo root")
@@ -706,8 +846,9 @@ def main() -> None:
     report = {
         "pr": arguments.pr,
         "description": (
-            "fused one-pass multi-delta propagation + update-mass rooting "
-            "+ root-payload patching + subtree parallelism knob"
+            "array-native multiset storage (tuple store as the canonical "
+            "Relation backend) + per-tuple fused delta kernel + columnar "
+            "root-view splice + batched CSV ingest"
         ),
         "machine": {
             "python": platform.python_version(),
@@ -722,11 +863,19 @@ def main() -> None:
         "figures": {},
     }
 
-    # PR 4's acceptance figure (the fused multi-delta pass) runs first, on
-    # fresh process state: the long tail of figures below leaves the
-    # allocator and caches in a measurably worse state (~10% on the
-    # single-core reference container), which would understate the metric
-    # the trajectory check gates on.
+    # The acceptance figures run first, on fresh process state: the long
+    # tail of figures below leaves the allocator and caches in a measurably
+    # worse state (~10% on the single-core reference container), which
+    # would understate the metrics the trajectory check gates on.  PR 5's
+    # storage sweep (small-batch IVM on the array-native store) leads,
+    # followed by PR 4's fused-pass figure.
+    report["figures"]["storage_bench"] = _storage_timings(
+        BENCH_SCALES["retailer"], "bench", arguments.rounds
+    )
+    if not arguments.skip_large:
+        report["figures"]["storage_large"] = _storage_timings(
+            LARGE_SCALES["retailer"], "large", arguments.rounds
+        )
     report["figures"]["ivm_fused_bench"] = _ivm_fused_timings(
         BENCH_SCALES["retailer"], "bench", arguments.rounds
     )
@@ -792,7 +941,15 @@ def main() -> None:
     fused_label = "ivm_fused_bench" if arguments.skip_large else "ivm_fused_large"
     fused = report["figures"][fused_label]
     root_patch = report["figures"][f"root_patching_{rooting_label}"]
+    storage_label = "storage_bench" if arguments.skip_large else "storage_large"
+    storage = report["figures"][storage_label]
     report["headline"] = {
+        "storage_small_batch_speedup_vs_pr4": {
+            size: record.get("speedup_vs_pr4")
+            for size, record in storage["ivm_batches"].items()
+        },
+        "storage_csv_ingest_speedup": storage["csv_ingest"]["speedup_vs_per_row"],
+        "storage_full_encodes": storage["counters"]["full_encodes"],
         "large_scale_speedups_vs_seed": {
             dataset: {name: entry.get("speedup_vs_seed") for name, entry in batches.items()}
             for dataset, batches in large.items()
@@ -850,6 +1007,12 @@ def main() -> None:
         f"{report['headline']['ivm_fused_speedup_vs_pr3']}"
     )
     print(f"root patching speedup: {report['headline']['root_patching_speedup']}")
+    print(
+        "array-native storage: small-batch IVM vs PR-4 "
+        f"{report['headline']['storage_small_batch_speedup_vs_pr4']}, "
+        f"CSV ingest {report['headline']['storage_csv_ingest_speedup']}x vs "
+        f"per-row add, full_encodes={report['headline']['storage_full_encodes']}"
+    )
 
 
 if __name__ == "__main__":

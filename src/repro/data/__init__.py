@@ -4,12 +4,16 @@ This package implements the in-memory relational layer that every other
 subsystem builds on.  Relations map tuples to integer multiplicities (the
 ring-of-integers view of Section 3.1 of the paper), which gives a uniform
 treatment of inserts and deletes and makes joins a sum-product computation.
+Storage is array-native: a relation is a façade over the dictionary-encoded
+:class:`~repro.data.tuplestore.TupleStore`, and columnar snapshots wrap its
+arrays zero-copy.
 """
 
 from repro.data.attribute import Attribute, AttributeType, Schema
 from repro.data.relation import Relation
 from repro.data.colstore import ColumnEncoding, ColumnStore
 from repro.data.database import Database, FunctionalDependency
+from repro.data.tuplestore import TupleStore, tuplestore_stats
 from repro.data import algebra
 from repro.data.csv_io import read_csv, write_csv
 
@@ -20,6 +24,8 @@ __all__ = [
     "Relation",
     "ColumnEncoding",
     "ColumnStore",
+    "TupleStore",
+    "tuplestore_stats",
     "Database",
     "FunctionalDependency",
     "algebra",

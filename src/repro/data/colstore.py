@@ -22,6 +22,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.data.tuplestore import (
+    _GrowArray,
+    _ints_exceed_float64_precision,
+    tuplestore_stats,
+)
+
 __all__ = ["ColumnEncoding", "ColumnStore", "DeltaColumnStore", "combine_codes"]
 
 #: Cap on the mixed-radix cardinality product; above it combined keys fall
@@ -94,16 +100,6 @@ def as_sortable_array(values: Sequence[object]) -> Optional[np.ndarray]:
     if array.ndim != 1 or array.dtype.kind not in "iufU":
         return None
     return array
-
-
-def _ints_exceed_float64_precision(values) -> bool:
-    """True when an int in ``values`` would lose identity as a float64."""
-    return any(
-        isinstance(value, int) and not isinstance(value, bool) and (
-            value > 2 ** 53 or value < -(2 ** 53)
-        )
-        for value in values
-    )
 
 
 def _encode_values(raw: List[object]) -> ColumnEncoding:
@@ -198,6 +194,11 @@ class ColumnStore:
     """
 
     def __init__(self, relation, version: Optional[int] = None) -> None:
+        # The legacy snapshot constructor: materialise and re-encode every
+        # row.  Relation.column_store() takes the zero-copy
+        # :meth:`from_tuplestore` path instead; anything still landing here
+        # pays the full encode and is counted so regressions are visible.
+        tuplestore_stats["full_encodes"] += 1
         rows: List[Tuple] = []
         multiplicities: List[float] = []
         for row, multiplicity in relation.items():
@@ -225,6 +226,35 @@ class ColumnStore:
             Tuple[np.ndarray, List[Tuple], Optional[List[Optional[np.ndarray]]]],
         ] = {}
         self._key_indexes: Dict[Tuple[str, ...], Dict[Tuple, int]] = {}
+        self._distinct_counts: Dict[Tuple[str, ...], int] = {}
+
+    @classmethod
+    def from_tuplestore(cls, name: str, schema, store) -> "ColumnStore":
+        """Zero-copy columnar view over a :class:`~repro.data.tuplestore.TupleStore`.
+
+        The encodings alias the store's live value dictionaries and code
+        arrays, the multiplicities alias its multiplicity array, and ``rows``
+        aliases its row list — nothing is re-encoded or copied.  The caller
+        (``Relation.column_store``) compacts tombstones away first and guards
+        the wrapper by the store's ``(version, epoch)`` pair: a snapshot must
+        not be read once the owning relation mutated again (in-place
+        multiplicity netting writes through the aliased arrays).
+        """
+        tuplestore_stats["zero_copy_snapshots"] += 1
+        snapshot = cls.__new__(cls)
+        snapshot._init_from(
+            name,
+            schema,
+            store.rows_list(),
+            store.multiplicities_view(),
+            store.version,
+        )
+        for position in range(len(schema.names)):
+            snapshot._encodings[position] = ColumnEncoding(
+                store.column_values(position),
+                store.column_codes_view(position),
+            )
+        return snapshot
 
     @classmethod
     def from_rows(
@@ -322,14 +352,34 @@ class ColumnStore:
     def distinct_count(self, attributes: Sequence[str]) -> int:
         """Number of distinct value combinations of ``attributes``.
 
-        This is the size of the dictionary built by :meth:`codes_for` — the
-        statistic behind the engine's cost-based join-tree rooting (see
+        This is the size of the dictionary :meth:`codes_for` would build —
+        the statistic behind the engine's cost-based join-tree rooting (see
         :mod:`repro.engine.statistics`): a child view keyed on these
-        attributes has exactly this many entries.  The underlying key data is
-        cached, so planners and the executor share one encoding.
+        attributes has exactly this many entries.  When the combined key data
+        is already cached it is reused; otherwise the count is derived from
+        the code arrays alone (one ``np.unique``), without materialising the
+        distinct value tuples a planner never reads.
         """
-        _codes, tuples, _columns = self._key_data(tuple(attributes))
-        return len(tuples)
+        key = tuple(attributes)
+        cached = self._key_cache.get(key)
+        if cached is not None:
+            return len(cached[1])
+        count = self._distinct_counts.get(key)
+        if count is not None:
+            return count
+        if not key:
+            count = 1
+        elif len(key) == 1:
+            count = int(np.unique(self.encoding(key[0]).codes).size)
+        else:
+            encodings = [self.encoding(attribute) for attribute in key]
+            _codes, combos = combine_codes(
+                [encoding.codes for encoding in encodings],
+                [encoding.cardinality for encoding in encodings],
+            )
+            count = int(combos.shape[0])
+        self._distinct_counts[key] = count
+        return count
 
     def key_index(self, attributes: Sequence[str]) -> Dict[Tuple, int]:
         """Distinct key tuple -> key code, cached per attribute combination.
@@ -356,41 +406,6 @@ class ColumnStore:
         if columns is None or any(column is None for column in columns):
             return None
         return columns  # type: ignore[return-value]
-
-
-class _GrowArray:
-    """An amortised-doubling numpy array (append/extend + zero-copy view)."""
-
-    __slots__ = ("data", "size")
-
-    def __init__(self, dtype, capacity: int = 16) -> None:
-        self.data = np.empty(max(int(capacity), 1), dtype=dtype)
-        self.size = 0
-
-    def _reserve(self, extra: int) -> None:
-        needed = self.size + extra
-        capacity = self.data.shape[0]
-        if needed <= capacity:
-            return
-        while capacity < needed:
-            capacity *= 2
-        grown = np.empty(capacity, dtype=self.data.dtype)
-        grown[: self.size] = self.data[: self.size]
-        self.data = grown
-
-    def append(self, value) -> None:
-        self._reserve(1)
-        self.data[self.size] = value
-        self.size += 1
-
-    def extend(self, values) -> None:
-        values = np.asarray(values, dtype=self.data.dtype)
-        self._reserve(values.shape[0])
-        self.data[self.size : self.size + values.shape[0]] = values
-        self.size += values.shape[0]
-
-    def view(self) -> np.ndarray:
-        return self.data[: self.size]
 
 
 class _DeltaKey:
@@ -518,14 +533,22 @@ class DeltaColumnStore:
         self._multiplicities = _GrowArray(np.float64)
         self._floats: Dict[str, Tuple[int, _GrowArray]] = {}
         self._keys: Dict[Tuple[str, ...], _DeltaKey] = {}
+        # Appends are buffered here and encoded on the next read: the
+        # per-tuple IVM path appends one row per update but only a fraction
+        # of updates ever hop through a given mirror, so eager per-row
+        # encoding (one dictionary probe per registered key per row) was
+        # pure overhead for the rest.  Flushing in batches also reuses the
+        # vectorised multi-row transpose.
+        self._pending_rows: List[Tuple] = []
+        self._pending_multiplicities: List[float] = []
 
     def __len__(self) -> int:
-        return self.entry_count
+        return self.entry_count + len(self._pending_rows)
 
     # -- registration --------------------------------------------------------------------
 
     def _check_empty(self) -> None:
-        if self.entry_count:
+        if self.entry_count or self._pending_rows:
             raise ValueError(
                 "register columns and keys before the first append; "
                 "the delta store keeps no raw rows to backfill from"
@@ -560,7 +583,27 @@ class DeltaColumnStore:
     # -- appends -------------------------------------------------------------------------
 
     def append_rows(self, rows: Sequence[Tuple], multiplicities) -> None:
-        """Append one delta (rows + signed multiplicities) to every encoding."""
+        """Append one delta (rows + signed multiplicities); encoded lazily.
+
+        The rows are buffered and reach the encodings on the next read (see
+        :meth:`_flush`), so a stream of single-row appends between reads
+        pays one vectorised encode instead of per-row dictionary probes.
+        """
+        self._pending_rows.extend(rows)
+        self._pending_multiplicities.extend(
+            float(multiplicity) for multiplicity in multiplicities
+        )
+
+    def _flush(self) -> None:
+        if not self._pending_rows:
+            return
+        rows = self._pending_rows
+        multiplicities = self._pending_multiplicities
+        self._pending_rows = []
+        self._pending_multiplicities = []
+        self._append_encoded(rows, multiplicities)
+
+    def _append_encoded(self, rows: Sequence[Tuple], multiplicities) -> None:
         base = self.entry_count
         if not rows:
             return
@@ -586,13 +629,16 @@ class DeltaColumnStore:
 
     @property
     def multiplicities(self) -> np.ndarray:
+        self._flush()
         return self._multiplicities.view()
 
     def float_column(self, attribute: str) -> np.ndarray:
+        self._flush()
         return self._floats[attribute][1].view()
 
     def key_codes(self, attributes: Sequence[str]) -> Tuple[np.ndarray, List[Tuple]]:
         """Per-entry key code plus the distinct key tuples, in code order."""
+        self._flush()
         state = self._keys[tuple(attributes)]
         return state.codes.view(), state.keys
 
@@ -606,6 +652,7 @@ class DeltaColumnStore:
         — the incremental counterpart of grouping a snapshot store's key
         codes, at cost O(matched entries) per call.
         """
+        self._flush()
         state = self._keys[tuple(attributes)]
         probe = state.probe
         views: List[np.ndarray] = []

@@ -1,19 +1,24 @@
 """Multiset relations: tuples mapped to integer multiplicities.
 
-A :class:`Relation` stores its rows in a dictionary ``tuple -> multiplicity``.
-Multiplicities live in the ring of integers, which gives the uniform treatment
-of inserts (+1) and deletes (-1) described in Section 3.1 of the paper, and
-means that a natural join multiplies multiplicities while a union adds them.
-Tuples whose multiplicity reaches zero are dropped from the map.
+A :class:`Relation` is a thin façade over the array-native
+:class:`~repro.data.tuplestore.TupleStore`: per-attribute dictionary-encoded
+code arrays, one signed multiplicity array, and a row-key hash index.
+Multiplicities live in the ring of integers, which gives the uniform
+treatment of inserts (+1) and deletes (-1) described in Section 3.1 of the
+paper — a natural join multiplies multiplicities while a union adds them,
+and a multiplicity netting to zero deletes the tuple (physically dropped by
+the store's periodic compaction).
+
+The columnar view (:meth:`column_store`) is a zero-copy wrapper over the
+store's own arrays, not a snapshot re-encode; the tuple-at-a-time protocol
+(``items``, ``expanded_rows`` & co.) survives as iterators over the stored
+row tuples for the interpreted/naive engines and the algebra layer.
 """
 
 from __future__ import annotations
 
 import random
-from collections import deque
 from typing import (
-    Callable,
-    Deque,
     Dict,
     Iterable,
     Iterator,
@@ -25,12 +30,13 @@ from typing import (
 )
 
 from repro.data.attribute import Attribute, AttributeType, Schema, SchemaError
+from repro.data.tuplestore import TupleStore
 
 Row = Tuple
 RowValue = object
 
 #: How many recent changes a relation remembers (see :meth:`Relation.changes_since`).
-CHANGE_LOG_LIMIT = 128
+from repro.data.tuplestore import CHANGE_LOG_LIMIT  # noqa: E402  (re-export)
 
 
 class RelationError(ValueError):
@@ -41,7 +47,8 @@ class Relation:
     """A named multiset relation over a :class:`Schema`.
 
     The relation maps each distinct tuple (a Python tuple aligned with the
-    schema's attribute order) to a non-zero integer multiplicity.
+    schema's attribute order) to a non-zero integer multiplicity, stored
+    array-natively (see :mod:`repro.data.tuplestore`).
     """
 
     def __init__(
@@ -53,25 +60,15 @@ class Relation:
     ) -> None:
         self.name = name
         self.schema = schema
-        self._data: Dict[Row, int] = {}
-        self._version = 0
+        self._store = TupleStore(schema)
         self._column_store = None
-        # The cheap changed-rows log: one *group* per mutation — a list of
-        # (row, signed multiplicity) pairs tagged with the version after the
-        # change — bounded to CHANGE_LOG_LIMIT groups (an ``add_batch`` logs
-        # one group for the whole delta instead of one entry per row, so
-        # batched IVM streams pay one deque append per batch).  ``_log_floor``
-        # is the oldest version the log can still reconstruct changes from.
-        self._change_log: Deque[Tuple[int, List[Tuple[Row, int]]]] = deque(
-            maxlen=CHANGE_LOG_LIMIT
-        )
-        self._log_floor = 0
+        self._column_store_key: Tuple[int, int] = (-1, -1)
         if multiplicities is not None:
-            for row, multiplicity in multiplicities.items():
-                self.add(tuple(row), multiplicity)
+            items = [(tuple(row), int(m)) for row, m in multiplicities.items()]
+            self.add_batch([row for row, _m in items], [m for _r, m in items])
         if rows is not None:
-            for row in rows:
-                self.add(tuple(row), 1)
+            tuples = [tuple(row) for row in rows]
+            self.add_batch(tuples, [1] * len(tuples))
 
     # -- basic protocol ---------------------------------------------------------
 
@@ -85,28 +82,30 @@ class Relation:
 
     def __len__(self) -> int:
         """Number of distinct tuples (with non-zero multiplicity)."""
-        return len(self._data)
+        return self._store.live
 
     def total_multiplicity(self) -> int:
         """Sum of multiplicities over all tuples."""
-        return sum(self._data.values())
+        return int(self._store.total)
 
     def __iter__(self) -> Iterator[Row]:
-        return iter(self._data)
+        return self._store.iter_rows()
 
     def __contains__(self, row: Sequence[RowValue]) -> bool:
-        return tuple(row) in self._data
+        return tuple(row) in self._store
 
     def items(self) -> Iterator[Tuple[Row, int]]:
-        return iter(self._data.items())
+        return self._store.iter_items()
 
     def multiplicity(self, row: Sequence[RowValue]) -> int:
-        return self._data.get(tuple(row), 0)
+        return self._store.multiplicity(tuple(row))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Relation):
             return NotImplemented
-        return self.schema.names == other.schema.names and self._data == other._data
+        return self.schema.names == other.schema.names and dict(self.items()) == dict(
+            other.items()
+        )
 
     def __repr__(self) -> str:
         return f"Relation({self.name!r}, {self.schema}, {len(self)} tuples)"
@@ -122,14 +121,7 @@ class Relation:
             )
         if multiplicity == 0:
             return
-        key = tuple(row)
-        updated = self._data.get(key, 0) + multiplicity
-        if updated == 0:
-            self._data.pop(key, None)
-        else:
-            self._data[key] = updated
-        self._version += 1
-        self._log_change(self._version, key, multiplicity)
+        self._store.add(tuple(row), multiplicity)
 
     def remove(self, row: Sequence[RowValue], multiplicity: int = 1) -> None:
         """Remove ``multiplicity`` copies of ``row``."""
@@ -144,127 +136,98 @@ class Relation:
         """Apply one signed delta (rows + multiplicities) in a single pass.
 
         Semantically a loop of :meth:`add` — the per-row arity check included
-        — but with one version bump for the whole delta, which is what the
-        batched IVM path wants: downstream caches see a single mutation.
-        ``validated=True`` skips the arity pre-check for callers that already
-        checked every row (the IVM batch path validates while netting).
+        — but with one version bump for the whole delta (downstream caches
+        see a single mutation) and vectorised column encoding for appends.
+        ``validated=True`` skips the arity pre-check and tuple coercion for
+        callers that already pass checked tuple rows (the IVM batch path
+        validates while netting).
         """
         arity = self.arity
         if not validated:
-            # Validate everything before mutating anything: a mid-batch
-            # failure must not leave rows applied under an unbumped version
-            # (every version-guarded cache would then serve stale state as
-            # fresh).
+            # Validate (and coerce, exactly like ``add``) everything before
+            # mutating anything: a mid-batch failure must not leave rows
+            # applied under an unbumped version (every version-guarded cache
+            # would then serve stale state as fresh).
+            coerced = []
             for row in rows:
                 if len(row) != arity:
                     raise RelationError(
                         f"row arity {len(row)} does not match schema arity {arity} "
                         f"of relation {self.name!r}"
                     )
-        data = self._data
-        logged: List[Tuple[Row, int]] = []
-        for row, multiplicity in zip(rows, multiplicities):
-            if multiplicity == 0:
-                continue
-            key = tuple(row)
-            updated = data.get(key, 0) + multiplicity
-            if updated == 0:
-                data.pop(key, None)
-            else:
-                data[key] = updated
-            logged.append((key, multiplicity))
-        self._version += 1
-        if logged:
-            maxlen = self._change_log.maxlen or 0
-            if len(logged) >= maxlen:
-                # A delta this large exceeds what any log consumer would
-                # replay (they cap far below CHANGE_LOG_LIMIT); drop coverage
-                # instead of pinning the whole batch in memory.
-                self._change_log.clear()
-                self._log_floor = self._version
-            else:
-                self._log_group(self._version, logged)
+                coerced.append(tuple(row))
+            rows = coerced
+        self._store.add_batch(rows, multiplicities)
 
     def insert_all(self, rows: Iterable[Sequence[RowValue]]) -> None:
-        for row in rows:
-            self.add(row, 1)
+        tuples = [tuple(row) for row in rows]
+        self.add_batch(tuples, [1] * len(tuples))
 
     def clear(self) -> None:
-        self._data.clear()
-        self._version += 1
-        # A clear is not representable as a small delta: drop log coverage.
-        self._change_log.clear()
-        self._log_floor = self._version
-
-    def _log_change(self, version: int, row: Row, multiplicity: int) -> None:
-        self._log_group(version, [(row, multiplicity)])
-
-    def _log_group(self, version: int, changes: List[Tuple[Row, int]]) -> None:
-        log = self._change_log
-        if len(log) == log.maxlen:
-            # Evicting the oldest group loses coverage of its version.
-            self._log_floor = max(self._log_floor, log[0][0])
-        log.append((version, changes))
+        self._store.clear()
 
     def changes_since(self, version: int) -> Optional[List[Tuple[Row, int]]]:
         """The signed row changes applied after ``version``, oldest first.
 
-        Returns None when the log cannot reconstruct them — the requested
-        version predates the bounded log's coverage, or a ``clear`` happened
-        since.  Consumers (the engine's delta-aware view cache) then fall
-        back to a full recompute.
+        Returns None when the store's bounded change log cannot reconstruct
+        them — the requested version predates its coverage, or a ``clear``
+        happened since.  Consumers (the engine's delta-aware view cache) then
+        fall back to a full recompute.
         """
-        if version < self._log_floor:
-            return None
-        if version >= self._version:
-            return []
-        out: List[Tuple[Row, int]] = []
-        for logged_version, changes in self._change_log:
-            if logged_version > version:
-                out.extend(changes)
-        return out
+        return self._store.changes_since(version)
 
     # -- columnar view -----------------------------------------------------------
 
     @property
     def version(self) -> int:
         """Mutation counter; bumped on every change to the stored tuples."""
-        return self._version
+        return self._store.version
 
     def column_store(self):
         """The cached dictionary-encoded columnar view of this relation.
 
-        The store snapshots the current tuples; any mutation (``add``,
-        ``remove``, ``clear`` — including IVM deltas applied through them)
-        bumps :attr:`version` and invalidates the cache, so the next call
-        re-encodes.  See :mod:`repro.data.colstore`.
+        A zero-copy wrapper over the tuple store's live code, multiplicity
+        and dictionary arrays — building one never re-encodes the relation.
+        Tombstoned rows are compacted away first, so the view is dense; any
+        later mutation bumps :attr:`version` and the next call re-wraps the
+        (already encoded) arrays.  See :mod:`repro.data.colstore`.
         """
         from repro.data.colstore import ColumnStore
 
-        store = self._column_store
-        if store is None or store.version != self._version:
-            store = ColumnStore(self, version=self._version)
-            self._column_store = store
-        return store
+        store = self._store
+        key = (store.version, store.epoch)
+        cached = self._column_store
+        if cached is not None and self._column_store_key == key:
+            return cached
+        if store.zeros:
+            store.compact()
+            key = (store.version, store.epoch)
+        snapshot = ColumnStore.from_tuplestore(self.name, self.schema, store)
+        self._column_store = snapshot
+        self._column_store_key = key
+        return snapshot
 
     def cached_column_store(self):
         """The cached store only if it is current — never triggers a rebuild.
 
         Update-heavy code (the batched IVM propagation) asks this first: a
         fresh store means the vectorised CSR path over the full encoding is
-        free, while ``None`` means re-encoding would cost O(rows) and the
-        caller should fall back to its incrementally maintained indexes.
+        free, while ``None`` means the caller should fall back to its
+        incrementally maintained indexes.
         """
-        store = self._column_store
-        if store is not None and store.version == self._version:
-            return store
+        store = self._store
+        if (
+            self._column_store is not None
+            and self._column_store_key == (store.version, store.epoch)
+        ):
+            return self._column_store
         return None
 
     # -- derived views -----------------------------------------------------------
 
     def copy(self, name: Optional[str] = None) -> "Relation":
         clone = Relation(name or self.name, self.schema)
-        clone._data = dict(self._data)
+        clone._store = self._store.copy()
         return clone
 
     def empty_like(self, name: Optional[str] = None) -> "Relation":
@@ -272,11 +235,31 @@ class Relation:
 
     def rows(self) -> List[Row]:
         """All distinct rows (multiplicity ignored)."""
-        return list(self._data)
+        return list(self._store.iter_rows())
+
+    def _canonical_rows(self) -> List[Row]:
+        """Live rows in a deterministic order independent of mutation history.
+
+        Sorted by the row values themselves (falling back to a repr key for
+        rows that are not mutually comparable), so equivalence tests and
+        samplers see the same order however the multiset was built.
+        """
+        rows = list(self._store.iter_rows())
+        try:
+            rows.sort()
+        except TypeError:
+            rows.sort(key=lambda row: tuple(repr(value) for value in row))
+        return rows
 
     def expanded_rows(self) -> Iterator[Row]:
-        """Iterate rows with positive multiplicity, repeated per multiplicity."""
-        for row, multiplicity in self._data.items():
+        """Iterate rows with positive multiplicity, repeated per multiplicity.
+
+        The order is canonical (sorted by row value), independent of the
+        insertion/deletion history that produced the multiset.
+        """
+        multiplicity_of = self._store.multiplicity
+        for row in self._canonical_rows():
+            multiplicity = multiplicity_of(row)
             if multiplicity < 0:
                 raise RelationError(
                     "cannot expand a relation with negative multiplicities"
@@ -287,29 +270,33 @@ class Relation:
     def column(self, name: str) -> List[RowValue]:
         """Distinct-row values of one attribute (multiplicity ignored)."""
         index = self.schema.index_of(name)
-        return [row[index] for row in self._data]
+        return [row[index] for row in self._store.iter_rows()]
 
     def active_domain(self, name: str) -> List[RowValue]:
         """Sorted distinct values of one attribute."""
         index = self.schema.index_of(name)
-        return sorted({row[index] for row in self._data})
+        return sorted({row[index] for row in self._store.iter_rows()})
 
     def row_dicts(self) -> Iterator[Dict[str, RowValue]]:
         names = self.schema.names
-        for row in self._data:
+        for row in self._store.iter_rows():
             yield dict(zip(names, row))
 
     def sample_rows(self, count: int, seed: int = 0) -> List[Row]:
-        """Sample ``count`` distinct rows without replacement (deterministic)."""
+        """Sample ``count`` distinct rows without replacement.
+
+        Deterministic in ``seed`` *and* independent of insertion history: the
+        population is the canonical (value-sorted) row order.
+        """
         rng = random.Random(seed)
-        rows = list(self._data)
+        rows = self._canonical_rows()
         if count >= len(rows):
             return rows
         return rng.sample(rows, count)
 
     def head(self, count: int = 5) -> List[Row]:
         out = []
-        for row in self._data:
+        for row in self._store.iter_rows():
             out.append(row)
             if len(out) >= count:
                 break
@@ -323,11 +310,11 @@ class Relation:
         schema: Schema,
         dict_rows: Iterable[Mapping[str, RowValue]],
     ) -> "Relation":
-        relation = Relation(name, schema)
         names = schema.names
-        for mapping in dict_rows:
-            relation.add(tuple(mapping[column] for column in names))
-        return relation
+        rows = [
+            tuple(mapping[column] for column in names) for mapping in dict_rows
+        ]
+        return Relation(name, schema, rows=rows)
 
     @staticmethod
     def from_columns(
@@ -342,11 +329,8 @@ class Relation:
         lengths = {len(columns[column]) for column in names}
         if len(lengths) > 1:
             raise RelationError(f"columns have inconsistent lengths: {lengths}")
-        relation = Relation(name, schema)
-        length = lengths.pop() if lengths else 0
-        for position in range(length):
-            relation.add(tuple(columns[column][position] for column in names))
-        return relation
+        rows = list(zip(*(columns[column] for column in names))) if names else []
+        return Relation(name, schema, rows=rows)
 
     # -- pretty printing -----------------------------------------------------------
 
@@ -355,7 +339,7 @@ class Relation:
         header = " | ".join(self.schema.names)
         separator = "-" * len(header)
         lines = [header, separator]
-        for position, (row, multiplicity) in enumerate(self._data.items()):
+        for position, (row, multiplicity) in enumerate(self.items()):
             if position >= limit:
                 lines.append(f"... ({len(self) - limit} more rows)")
                 break

@@ -1,0 +1,577 @@
+"""The array-native multiset tuple store behind :class:`~repro.data.relation.Relation`.
+
+Until PR 5 the system of record was a Python ``dict[tuple, int]``: every
+mutation paid per-row dictionary upkeep, every columnar snapshot paid a full
+re-encode of all rows, and the IVM mirrors re-encoded keys per batch.  The
+:class:`TupleStore` inverts that hierarchy — the *columnar* form is the
+storage:
+
+- one **dictionary-encoded code array** per attribute (``values`` in
+  first-occurrence order plus an ``int64`` code per row), grown in place and
+  flushed *lazily*: mutations append rows and multiplicities only, and the
+  pending tail is encoded — vectorised, once — when a columnar snapshot is
+  actually requested, so neither the update path nor the snapshot ever pays
+  a whole-relation re-encode;
+- one **float64 multiplicity array** aligned with the rows (signed —
+  multiplicities live in the ring of integers, exactly representable in
+  float64 far beyond any realistic count);
+- a **row-key hash index** (row tuple -> slot) driving multiset *netting*:
+  re-inserting a known row adjusts its multiplicity in place, and a
+  multiplicity reaching zero leaves a **tombstone** that periodic
+  :meth:`~TupleStore.compact` passes drop;
+- an **array-slice change log**: a pure-append mutation is logged as a
+  ``(start, end)`` slice of the store's own arrays instead of a materialised
+  pair list, so batched ingest pays O(1) log bookkeeping.
+
+The row tuples themselves are kept (they are the hash-index keys anyway), so
+the tuple-at-a-time consumers — the interpreted/specialised executor scans,
+the relational algebra, ``expanded_rows`` — read them back without decoding;
+everything vectorised reads the code and multiplicity arrays directly.
+
+Zero-copy contract
+------------------
+:meth:`~repro.data.colstore.ColumnStore.from_tuplestore` wraps the live
+arrays of this store (codes, multiplicities, row list, value dictionaries)
+without copying.  Such a snapshot is only valid while the owning relation's
+``(version, epoch)`` pair is unchanged: any logical mutation bumps the
+version (and may mutate a multiplicity *in place*), and a :meth:`compact`
+bumps the epoch (rows move).  Every consumer already guards on the version —
+the relation's cache additionally guards on the epoch — so a stale snapshot
+is never read.
+
+The module-level :data:`tuplestore_stats` counters make the storage claims
+testable: ``full_encodes`` counts legacy whole-relation re-encodes (the
+regression suite asserts it stays 0 across IVM streams), ``compactions``
+counts tombstone sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["TupleStore", "tuplestore_stats", "reset_tuplestore_stats"]
+
+#: Global storage-behaviour counters (see the module docstring).
+tuplestore_stats: Dict[str, int] = {
+    "full_encodes": 0,      # legacy ColumnStore(relation) whole-relation encodes
+    "zero_copy_snapshots": 0,  # ColumnStore.from_tuplestore handoffs
+    "compactions": 0,       # tombstone sweeps
+    "batch_appends": 0,     # vectorised add_batch calls
+}
+
+
+def reset_tuplestore_stats() -> None:
+    """Zero all counters (tests isolate their assertions this way)."""
+    for key in tuplestore_stats:
+        tuplestore_stats[key] = 0
+
+
+#: How many recent change groups the store's log remembers.
+CHANGE_LOG_LIMIT = 128
+
+#: Compaction triggers once this many tombstones accumulate (and they make up
+#: at least a quarter of the stored rows) — see :meth:`TupleStore.add_batch`.
+COMPACT_MIN_ZEROS = 64
+
+
+class _GrowArray:
+    """An amortised-doubling numpy array (scalar/array append + zero-copy view)."""
+
+    __slots__ = ("data", "size")
+
+    def __init__(self, dtype, capacity: int = 16) -> None:
+        self.data = np.empty(max(int(capacity), 1), dtype=dtype)
+        self.size = 0
+
+    def _reserve(self, extra: int) -> None:
+        needed = self.size + extra
+        capacity = self.data.shape[0]
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        grown = np.empty(capacity, dtype=self.data.dtype)
+        grown[: self.size] = self.data[: self.size]
+        self.data = grown
+
+    def append(self, value) -> None:
+        self._reserve(1)
+        self.data[self.size] = value
+        self.size += 1
+
+    def extend(self, values) -> None:
+        values = np.asarray(values, dtype=self.data.dtype)
+        self._reserve(values.shape[0])
+        self.data[self.size : self.size + values.shape[0]] = values
+        self.size += values.shape[0]
+
+    def view(self) -> np.ndarray:
+        return self.data[: self.size]
+
+
+class _ColumnCodes:
+    """One attribute's dictionary encoding, grown in place on every insert.
+
+    ``values`` lists the distinct values in first-occurrence order, ``index``
+    inverts it, and ``codes`` carries one ``int64`` dictionary code per stored
+    row.  The dictionary only ever grows (values of tombstoned rows linger as
+    unused entries — harmless: consumers treat the cardinality as an upper
+    bound and derive exact distinct counts from the codes).
+    """
+
+    __slots__ = ("values", "index", "codes")
+
+    def __init__(self) -> None:
+        self.values: List[object] = []
+        self.index: Dict[object, int] = {}
+        self.codes = _GrowArray(np.int64)
+
+    def code_of(self, value) -> int:
+        code = self.index.get(value)
+        if code is None:
+            code = len(self.values)
+            self.index[value] = code
+            self.values.append(value)
+        return code
+
+    def append_value(self, value) -> None:
+        self.codes.append(self.code_of(value))
+
+    def extend_values(self, raw: Sequence[object]) -> None:
+        """Vectorised bulk encode: one ``np.unique`` + one dictionary probe
+        per *distinct* value, then a single gather for the code array."""
+        count = len(raw)
+        if count == 0:
+            return
+        kinds = set(map(type, raw))
+        try:
+            if kinds <= {int, bool} or kinds == {str} or (
+                kinds <= {int, bool, float}
+                and not _ints_exceed_float64_precision(raw)
+            ):
+                if kinds <= {int, bool}:
+                    array = np.asarray(raw, dtype=np.int64)
+                    distinct, inverse = np.unique(array, return_inverse=True)
+                    distinct_values: List[object] = [
+                        int(value) for value in distinct.tolist()
+                    ]
+                elif kinds == {str}:
+                    distinct, inverse = np.unique(np.asarray(raw), return_inverse=True)
+                    distinct_values = distinct.tolist()
+                else:
+                    array = np.asarray(raw, dtype=np.float64)
+                    distinct, inverse = np.unique(array, return_inverse=True)
+                    distinct_values = distinct.tolist()
+                mapping = np.empty(len(distinct_values), dtype=np.int64)
+                for position, value in enumerate(distinct_values):
+                    mapping[position] = self.code_of(value)
+                self.codes.extend(mapping[inverse.reshape(-1)])
+                return
+        except (TypeError, ValueError, OverflowError):
+            pass
+        # Mixed or non-primitive column: per-value dictionary probes.
+        code_of = self.code_of
+        self.codes.extend(
+            np.fromiter((code_of(value) for value in raw), dtype=np.int64, count=count)
+        )
+
+
+def _ints_exceed_float64_precision(values) -> bool:
+    """True when an int in ``values`` would lose identity as a float64."""
+    return any(
+        isinstance(value, int) and not isinstance(value, bool) and (
+            value > 2 ** 53 or value < -(2 ** 53)
+        )
+        for value in values
+    )
+
+
+class _LogGroup:
+    """One logged mutation group: explicit pairs or an array slice.
+
+    A pure-append mutation (every row new) is recorded as the ``[start, end)``
+    slot range it appended — decoding reads the store's own rows and
+    multiplicities.  Anything that netted into an existing slot is recorded
+    as explicit ``(row, signed delta)`` pairs, because the in-place
+    multiplicity no longer equals the applied delta.
+    """
+
+    __slots__ = ("version", "pairs", "start", "end")
+
+    def __init__(self, version: int, pairs=None, start: int = -1, end: int = -1) -> None:
+        self.version = version
+        self.pairs: Optional[List[Tuple[Tuple, int]]] = pairs
+        self.start = start
+        self.end = end
+
+    @property
+    def is_slice(self) -> bool:
+        return self.pairs is None
+
+
+class TupleStore:
+    """Array-native multiset storage for one relation (see module docstring)."""
+
+    __slots__ = ("schema", "_rows", "_row_index", "_mults", "_columns",
+                 "_encoded_count", "live", "zeros", "total", "version", "epoch",
+                 "_log", "_log_floor", "_slice_floor")
+
+    def __init__(self, schema) -> None:
+        self.schema = schema
+        self._rows: List[Tuple] = []
+        self._row_index: Dict[Tuple, int] = {}
+        self._mults = _GrowArray(np.float64)
+        self._columns: List[_ColumnCodes] = [_ColumnCodes() for _ in schema.names]
+        # Rows below this position are dictionary-encoded; the tail is
+        # pending and encoded in one vectorised pass on the next snapshot.
+        self._encoded_count = 0
+        self.live = 0               # distinct rows with non-zero multiplicity
+        self.zeros = 0              # tombstones awaiting compaction
+        self.total = 0.0            # running sum of multiplicities
+        self.version = 0            # logical mutation counter
+        self.epoch = 0              # physical layout counter (bumped by compact)
+        self._log: List[_LogGroup] = []
+        self._log_floor = 0
+        # Smallest slot a live slice group references; netting at or above it
+        # forces slice groups down to explicit pairs (their in-place
+        # multiplicities would otherwise stop matching the applied deltas).
+        self._slice_floor: Optional[int] = None
+
+    # -- basic reads -------------------------------------------------------------------
+
+    @property
+    def row_count(self) -> int:
+        """Stored rows including tombstones (the code/multiplicity array length)."""
+        return len(self._rows)
+
+    def multiplicity(self, row: Tuple) -> int:
+        slot = self._row_index.get(row)
+        if slot is None:
+            return 0
+        return int(self._mults.data[slot])
+
+    def __contains__(self, row: Tuple) -> bool:
+        slot = self._row_index.get(row)
+        return slot is not None and self._mults.data[slot] != 0.0
+
+    def iter_rows(self) -> Iterator[Tuple]:
+        """Live rows (non-zero multiplicity), in storage order."""
+        if self.zeros == 0:
+            return iter(self._rows)
+        mults = self._mults.data
+        return (row for slot, row in enumerate(self._rows) if mults[slot] != 0.0)
+
+    def iter_items(self) -> Iterator[Tuple[Tuple, int]]:
+        """Live ``(row, multiplicity)`` pairs, in storage order."""
+        mults = self._mults.data
+        if self.zeros == 0:
+            for slot, row in enumerate(self._rows):
+                yield row, int(mults[slot])
+        else:
+            for slot, row in enumerate(self._rows):
+                multiplicity = mults[slot]
+                if multiplicity != 0.0:
+                    yield row, int(multiplicity)
+
+    # -- zero-copy accessors (consumed by ColumnStore.from_tuplestore) ------------------
+
+    def rows_list(self) -> List[Tuple]:
+        """The raw row list (tombstones included — compact first for snapshots)."""
+        return self._rows
+
+    def multiplicities_view(self) -> np.ndarray:
+        return self._mults.view()
+
+    def column_values(self, position: int) -> List[object]:
+        self.flush_encodings()
+        return self._columns[position].values
+
+    def column_codes_view(self, position: int) -> np.ndarray:
+        self.flush_encodings()
+        return self._columns[position].codes.view()
+
+    def flush_encodings(self) -> None:
+        """Encode the pending row tail into the per-column code arrays.
+
+        One transpose of the pending rows plus one vectorised dictionary
+        merge per column — the cost is proportional to the rows appended
+        since the last flush, never to the relation size, and update-only
+        phases (IVM streams propagating through mirrors) never pay it at
+        all.
+        """
+        start = self._encoded_count
+        count = len(self._rows)
+        if start >= count:
+            return
+        pending = self._rows[start:count]
+        if len(pending) == 1:
+            row = pending[0]
+            for position, column in enumerate(self._columns):
+                column.append_value(row[position])
+        else:
+            columns = list(zip(*pending))
+            for position, column in enumerate(self._columns):
+                column.extend_values(columns[position])
+        self._encoded_count = count
+
+    # -- mutation ----------------------------------------------------------------------
+
+    def add(self, row: Tuple, multiplicity: int) -> None:
+        """Net one signed row delta into the store (one version bump + log entry)."""
+        self.version += 1
+        self._apply_one(row, multiplicity)
+        self._log_pairs(self.version, [(row, multiplicity)])
+        self._maybe_compact()
+
+    def add_batch(self, rows: Sequence[Tuple], multiplicities: Sequence[int]) -> None:
+        """Apply one signed delta in a single pass (one version bump, one log group).
+
+        When every row of the delta is new, the whole batch is appended with
+        vectorised per-column encoding and logged as an array slice; as soon
+        as one row nets into an existing slot the batch falls back to the
+        scalar path for the remainder (still one version bump and one pair
+        group for the lot).
+        """
+        self.version += 1
+        row_index = self._row_index
+        start = len(self._rows)
+        # Fast scan: is this a pure append of distinct new rows?
+        pure_append = True
+        seen_in_batch: set = set()
+        for row in rows:
+            if row in row_index or row in seen_in_batch:
+                pure_append = False
+                break
+            seen_in_batch.add(row)
+        applied = 0
+        if pure_append:
+            payload = [
+                (row, multiplicity)
+                for row, multiplicity in zip(rows, multiplicities)
+                if multiplicity != 0
+            ]
+            if payload:
+                self._append_rows(
+                    [row for row, _m in payload],
+                    np.asarray([m for _r, m in payload], dtype=np.float64),
+                )
+                applied = len(payload)
+                tuplestore_stats["batch_appends"] += 1
+                self._log_slice(self.version, start, start + applied)
+        else:
+            pairs: List[Tuple[Tuple, int]] = []
+            for row, multiplicity in zip(rows, multiplicities):
+                if multiplicity == 0:
+                    continue
+                self._apply_one(row, multiplicity)
+                pairs.append((row, multiplicity))
+            applied = len(pairs)
+            if applied:
+                if applied >= CHANGE_LOG_LIMIT:
+                    # A delta this large exceeds what any log consumer would
+                    # replay; drop coverage instead of pinning it in memory.
+                    self._drop_log()
+                else:
+                    self._log_pairs(self.version, pairs)
+        self._maybe_compact()
+
+    def clear(self) -> None:
+        """Drop every row; not representable as a small delta, so log coverage goes."""
+        self.version += 1
+        self.epoch += 1
+        self._rows = []
+        self._row_index = {}
+        self._mults = _GrowArray(np.float64)
+        self._columns = [_ColumnCodes() for _ in self.schema.names]
+        self._encoded_count = 0
+        self.live = 0
+        self.zeros = 0
+        self.total = 0.0
+        self._drop_log()
+
+    def _apply_one(self, row: Tuple, multiplicity: int) -> None:
+        slot = self._row_index.get(row)
+        if slot is None:
+            self._row_index[row] = len(self._rows)
+            self._rows.append(row)
+            self._mults.append(float(multiplicity))
+            self.live += 1
+        else:
+            floor = self._slice_floor
+            if floor is not None and slot >= floor:
+                self._materialise_slices()
+            mults = self._mults.data
+            before = mults[slot]
+            updated = before + multiplicity
+            mults[slot] = updated
+            if before == 0.0 and updated != 0.0:
+                self.zeros -= 1
+                self.live += 1
+            elif before != 0.0 and updated == 0.0:
+                self.zeros += 1
+                self.live -= 1
+        self.total += multiplicity
+
+    def _append_rows(self, rows: List[Tuple], multiplicities: np.ndarray) -> None:
+        """Bulk append of brand-new rows (encoding deferred to the next flush)."""
+        base = len(self._rows)
+        row_index = self._row_index
+        for offset, row in enumerate(rows):
+            row_index[row] = base + offset
+        self._rows.extend(rows)
+        self._mults.extend(multiplicities)
+        self.live += len(rows)
+        self.total += float(multiplicities.sum())
+
+    # -- compaction --------------------------------------------------------------------
+
+    def _maybe_compact(self) -> None:
+        if self.zeros >= COMPACT_MIN_ZEROS and self.zeros * 4 >= len(self._rows):
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop tombstoned rows, preserving storage order of the survivors.
+
+        Physical reorganisation only — the logical content (and therefore the
+        version) is unchanged, but slots move, so the epoch is bumped and any
+        slice-form log groups are first materialised to explicit pairs.
+        """
+        if self.zeros == 0:
+            return
+        self._materialise_slices()
+        self.flush_encodings()
+        mults = self._mults.view()
+        keep = np.nonzero(mults != 0.0)[0]
+        rows = self._rows
+        self._rows = [rows[slot] for slot in keep.tolist()]
+        self._row_index = {row: slot for slot, row in enumerate(self._rows)}
+        kept_mults = _GrowArray(np.float64, capacity=max(keep.size, 1))
+        kept_mults.extend(mults[keep])
+        self._mults = kept_mults
+        for column in self._columns:
+            codes = _GrowArray(np.int64, capacity=max(keep.size, 1))
+            codes.extend(column.codes.view()[keep])
+            column.codes = codes
+        self._encoded_count = len(self._rows)
+        self.zeros = 0
+        self.epoch += 1
+        tuplestore_stats["compactions"] += 1
+
+    # -- the change log ----------------------------------------------------------------
+
+    def _log_pairs(self, version: int, pairs: List[Tuple[Tuple, int]]) -> None:
+        self._log_push(_LogGroup(version, pairs=pairs))
+
+    def _log_slice(self, version: int, start: int, end: int) -> None:
+        if end - start >= CHANGE_LOG_LIMIT:
+            self._drop_log()
+            return
+        if self._slice_floor is None or start < self._slice_floor:
+            self._slice_floor = start
+        self._log_push(_LogGroup(version, start=start, end=end))
+
+    def _log_push(self, group: _LogGroup) -> None:
+        log = self._log
+        if len(log) >= CHANGE_LOG_LIMIT:
+            evicted = log.pop(0)
+            self._log_floor = max(self._log_floor, evicted.version)
+            if evicted.is_slice:
+                self._refresh_slice_floor()
+        log.append(group)
+
+    def _drop_log(self) -> None:
+        self._log.clear()
+        self._log_floor = self.version
+        self._slice_floor = None
+
+    def _refresh_slice_floor(self) -> None:
+        starts = [group.start for group in self._log if group.is_slice]
+        self._slice_floor = min(starts) if starts else None
+
+    def _materialise_slices(self) -> None:
+        """Convert slice-form log groups into explicit pairs.
+
+        Required before any operation that would desynchronise a slice from
+        the deltas it recorded: netting into a slot the slice covers, or a
+        compaction moving slots.
+        """
+        if self._slice_floor is None:
+            return
+        mults = self._mults.data
+        rows = self._rows
+        for group in self._log:
+            if group.is_slice:
+                group.pairs = [
+                    (rows[slot], int(mults[slot]))
+                    for slot in range(group.start, group.end)
+                ]
+                group.start = group.end = -1
+        self._slice_floor = None
+
+    def changes_since(self, version: int) -> Optional[List[Tuple[Tuple, int]]]:
+        """The signed row changes applied after ``version``, oldest first.
+
+        None when the log cannot reconstruct them (coverage was dropped or
+        the requested version predates the bounded log).
+        """
+        if version < self._log_floor:
+            return None
+        if version >= self.version:
+            return []
+        out: List[Tuple[Tuple, int]] = []
+        mults = self._mults.data
+        rows = self._rows
+        for group in self._log:
+            if group.version <= version:
+                continue
+            if group.is_slice:
+                out.extend(
+                    (rows[slot], int(mults[slot]))
+                    for slot in range(group.start, group.end)
+                )
+            else:
+                out.extend(group.pairs)  # type: ignore[arg-type]
+        return out
+
+    # -- copying -----------------------------------------------------------------------
+
+    def copy(self) -> "TupleStore":
+        """An independent store with the same live content (log not carried)."""
+        clone = TupleStore(self.schema)
+        rows: List[Tuple] = []
+        multiplicities: List[int] = []
+        for row, multiplicity in self.iter_items():
+            rows.append(row)
+            multiplicities.append(multiplicity)
+        if rows:
+            clone._append_rows(rows, np.asarray(multiplicities, dtype=np.float64))
+        return clone
+
+    # -- introspection -----------------------------------------------------------------
+
+    def memory_footprint(self, sample: int = 256) -> int:
+        """Approximate resident bytes of the store (``sys.getsizeof`` sampling).
+
+        Array buffers are counted exactly; the row tuples and dictionary
+        values are sampled (``sample`` of each) and extrapolated, which keeps
+        the estimate cheap on large relations.
+        """
+        import sys as _sys
+
+        total = _sys.getsizeof(self._rows) + _sys.getsizeof(self._row_index)
+        total += self._mults.data.nbytes
+        row_count = len(self._rows)
+        if row_count:
+            step = max(row_count // max(sample, 1), 1)
+            sampled = self._rows[::step]
+            per_row = sum(
+                _sys.getsizeof(row) + sum(_sys.getsizeof(value) for value in row)
+                for row in sampled
+            ) / len(sampled)
+            total += int(per_row * row_count)
+        for column in self._columns:
+            total += column.codes.data.nbytes
+            total += _sys.getsizeof(column.values) + _sys.getsizeof(column.index)
+        return total

@@ -1,4 +1,10 @@
-"""Registry of the benchmark datasets (Retailer, Favorita, Yelp, TPC-DS)."""
+"""Registry of the benchmark datasets (Retailer, Favorita, Yelp, TPC-DS).
+
+Every generator hands its full row list to the ``Relation`` constructor,
+which since PR 5 ingests straight into the array-native tuple store — one
+batched, vectorised dictionary encode per column rather than a per-row
+``add`` loop (see :mod:`repro.data.tuplestore`).
+"""
 
 from __future__ import annotations
 

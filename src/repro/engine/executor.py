@@ -572,7 +572,7 @@ class ColumnarView(dict):
 
     __slots__ = ("_conn_ids", "_group_ids", "_conn_keys", "_group_keys",
                  "_sums", "_present", "_ready", "_table", "_conn_columns",
-                 "_group_attrs", "_conn_store")
+                 "_group_attrs", "_conn_store", "_root_index")
 
     def __init__(
         self,
@@ -598,6 +598,9 @@ class ColumnarView(dict):
         self._conn_columns = conn_columns
         self._group_attrs = group_attrs
         self._conn_store = conn_store
+        # Canonical group pairs -> entry code, built by the first
+        # apply_root_delta and maintained across patches.
+        self._root_index: Optional[Dict[Tuple, int]] = None
 
     # -- columnar access -------------------------------------------------------------------
 
@@ -628,6 +631,93 @@ class ColumnarView(dict):
                 self._group_ids[codes].tolist(), self._sums[codes].tolist()
             )
         ]
+
+    def apply_root_delta(self, items: Sequence[Tuple[Tuple, float]]) -> bool:
+        """Splice a signed delta into this *root* view's arrays in place.
+
+        ``items`` are ``(group pairs, value)`` entries of a propagated delta
+        view over the same signature.  Entries whose group key already exists
+        are added straight into :attr:`_sums` — allocation-free, however wide
+        the group-by — and only genuinely new group keys append to the
+        arrays (copy-on-write, since a view family shares its key arrays).
+        Returns False when the view is not patchable in place (a real
+        connection key, or a delta group that cannot be aligned with the
+        view's fixed attribute sequence); the caller then falls back to the
+        nested-dict merge.
+        """
+        if self._conn_keys != [()]:
+            return False
+        attrs = self._group_attrs
+        group_keys = self._group_keys
+        group_ids = self._group_ids
+        index = self._root_index
+        if index is None:
+            codes = self._codes()
+            index = {}
+            for code in codes.tolist():
+                pairs = group_keys[group_ids[code]]
+                index[tuple(sorted(pairs)) if pairs else EMPTY_GROUP] = code
+            self._root_index = index
+
+        # Stage the whole delta before touching any state: a mid-splice
+        # abort must leave the view unmodified, or the caller's dict-merge
+        # fallback would re-apply entries that already landed.
+        hits: List[Tuple[int, float]] = []             # (existing code, value)
+        appended: List[Tuple[Tuple, float]] = []       # (pairs in view order, value)
+        staged: Dict[Tuple, int] = {}                  # canonical -> appended position
+        for pairs, value in items:
+            canonical = tuple(sorted(pairs)) if pairs else EMPTY_GROUP
+            code = index.get(canonical)
+            if code is not None:
+                hits.append((code, value))
+                continue
+            position = staged.get(canonical)
+            if position is not None:                   # duplicate delta groups fold
+                appended[position] = (appended[position][0], appended[position][1] + value)
+                continue
+            if pairs and attrs is not None:
+                mapping = dict(pairs)
+                if len(mapping) == len(attrs) and all(a in mapping for a in attrs):
+                    ordered = tuple((attribute, mapping[attribute]) for attribute in attrs)
+                else:
+                    return False     # cannot align with the fixed sequence
+            elif pairs and attrs is None:
+                # attrs None means every stored key is canonically sorted.
+                ordered = canonical
+            else:
+                ordered = EMPTY_GROUP
+            staged[canonical] = len(appended)
+            appended.append((ordered, value))
+
+        for code, value in hits:
+            self._sums[code] += value
+        for canonical, position in staged.items():
+            index[canonical] = len(self._sums) + position
+
+        if appended:
+            # The key arrays may be shared with sibling views of the same
+            # family: extend copies, never the originals.
+            base_keys = len(group_keys)
+            self._group_keys = list(group_keys) + [pairs for pairs, _v in appended]
+            new_gids = _np.arange(base_keys, base_keys + len(appended), dtype=_np.int64)
+            self._group_ids = _np.concatenate((group_ids, new_gids))
+            self._conn_ids = _np.concatenate(
+                (self._conn_ids, _np.zeros(len(appended), dtype=_np.int64))
+            )
+            new_codes = _np.arange(
+                len(self._sums), len(self._sums) + len(appended), dtype=_np.int64
+            )
+            self._sums = _np.concatenate(
+                (self._sums, _np.asarray([v for _p, v in appended], dtype=_np.float64))
+            )
+            if self._present is not None:
+                self._present = _np.concatenate((self._present, new_codes))
+        # Derived shapes are stale now; rebuild lazily on next read.
+        self._table = None
+        if self._ready:
+            dict.clear(self)
+            self._ready = False
+        return True
 
     def table(self) -> _ChildTable:
         """CSR form grouped by connection key (built without the dict shape)."""

@@ -60,6 +60,39 @@ from repro.query.join_tree import JoinTree, JoinTreeNode, build_join_tree
 AggregateValue = Union[float, Dict[Tuple, float]]
 
 
+def _sub_relation_from_mask(relation: Relation, store, mask) -> Relation:
+    """The relation restricted to the masked store rows, built in one batch.
+
+    The rows come straight off the (zero-copy) store arrays — distinct by
+    construction, so the batched insert takes the pure-append path with a
+    single version bump.
+    """
+    positions = np.nonzero(mask)[0].tolist()
+    rows = store.rows
+    multiplicities = store.multiplicities
+    sub_relation = Relation(relation.name, relation.schema)
+    sub_relation.add_batch(
+        [rows[position] for position in positions],
+        [int(multiplicities[position]) for position in positions],
+        validated=True,
+    )
+    return sub_relation
+
+
+def _root_delta_items(delta_view: View) -> List[Tuple[Tuple, float]]:
+    """The ``(group pairs, value)`` entries of a root delta view.
+
+    Read straight off the arrays when the delta is columnar (no dict
+    materialisation for a view consumed exactly once), off the nested dict's
+    single empty connection key otherwise.
+    """
+    if isinstance(delta_view, ColumnarView):
+        items = delta_view.group_items()
+        if items is not None:
+            return items
+    return list(delta_view.get((), {}).items())
+
+
 @dataclass
 class EngineOptions:
     """Optimisation switches of the engine.
@@ -101,6 +134,14 @@ class EngineOptions:
         propagating the logged delta up the join tree as a signed delta view
         and adding it into the cached extraction, instead of recomputing the
         root from scratch — see :meth:`LMFAOEngine._try_patch_root`.
+    ``columnar_root_patch``
+        How the propagated delta is spliced into a cached columnar root
+        view: on (the default) the ``ColumnarView`` arrays are patched in
+        place — existing group entries are plain ``sums[code] += delta``
+        updates, allocation-free for arbitrarily wide group-bys — and the
+        view stays array-native for the extraction; off restores the PR-4
+        behaviour of merging into a nested dict (kept as the fallback, and
+        still taken when a view cannot be patched in place).
     ``parallel_deltas``
         The GIL-free subtree-parallelism knob of the fused IVM delta pass
         (see :class:`repro.ivm.fivm.FIVM` and
@@ -122,6 +163,7 @@ class EngineOptions:
     delta_refresh: bool = True
     delta_refresh_limit: int = 64
     root_patching: bool = True
+    columnar_root_patch: bool = True
     parallel_deltas: bool = False
 
     def resolved_workers(self) -> int:
@@ -737,6 +779,7 @@ class LMFAOEngine:
             else:
                 groups.setdefault(group_key, []).append((signature, old_view))
 
+        use_columnar = bool(options.columnar_root_patch)
         for (changed_name, _old_version), members in groups.items():
             changes = change_sets[(changed_name, _old_version)]
             assert changes is not None
@@ -748,14 +791,24 @@ class LMFAOEngine:
                 pending.extend(signatures)
                 continue
             for signature, old_view in members:
-                merged: Dict[Tuple, Dict[Tuple, float]] = dict(old_view.items())
-                for conn_key, delta_groups in deltas[signature].items():
-                    base = dict(merged.get(conn_key, {}))
-                    for pairs, value in delta_groups.items():
-                        base[pairs] = base.get(pairs, 0.0) + value
-                    merged[conn_key] = base
-                views[(root.relation_name, signature)] = merged
-                self._view_cache[(root.relation_name, signature)] = (versions, merged)
+                delta_view = deltas[signature]
+                patched: Optional[View] = None
+                if use_columnar and isinstance(old_view, ColumnarView):
+                    # Splice the delta into the cached view's arrays in
+                    # place; the dict merge below stays as the fallback for
+                    # views the in-place patch cannot represent.
+                    if old_view.apply_root_delta(_root_delta_items(delta_view)):
+                        patched = old_view
+                if patched is None:
+                    merged: Dict[Tuple, Dict[Tuple, float]] = dict(old_view.items())
+                    for conn_key, delta_groups in delta_view.items():
+                        base = dict(merged.get(conn_key, {}))
+                        for pairs, value in delta_groups.items():
+                            base[pairs] = base.get(pairs, 0.0) + value
+                        merged[conn_key] = base
+                    patched = merged
+                views[(root.relation_name, signature)] = patched
+                self._view_cache[(root.relation_name, signature)] = (versions, patched)
                 self._view_cache.move_to_end((root.relation_name, signature))
             if stats is not None:
                 stats[STAT_ROOT_PATCHED] = (
@@ -809,8 +862,11 @@ class LMFAOEngine:
 
         changed_relation = self.database.relation(changed_name)
         delta_relation = Relation(changed_relation.name, changed_relation.schema)
-        for row, multiplicity in changes:
-            delta_relation.add(row, multiplicity)
+        delta_relation.add_batch(
+            [row for row, _m in changes],
+            [multiplicity for _row, multiplicity in changes],
+            validated=True,
+        )
 
         current = compute_node_views(
             node,
@@ -840,13 +896,7 @@ class LMFAOEngine:
             store = relation.column_store()
             child_conn = tuple(sorted(child.connection_attributes()))
             mask = rows_matching_keys(store, child_conn, delta_keys)
-            sub_relation = Relation(relation.name, relation.schema)
-            multiplicities = store.multiplicities
-            for row_position in np.nonzero(mask)[0].tolist():
-                sub_relation.add(
-                    store.rows[row_position],
-                    int(multiplicities[row_position]),
-                )
+            sub_relation = _sub_relation_from_mask(relation, store, mask)
             overlay = dict(views)
             for child_signature in per_node_signatures[position - 1]:
                 overlay[(child.relation_name, child_signature)] = current[
@@ -885,10 +935,7 @@ class LMFAOEngine:
         store = relation.column_store()
         conn = tuple(sorted(node.connection_attributes()))
         mask = rows_matching_keys(store, conn, changed_keys)
-        sub_relation = Relation(relation.name, relation.schema)
-        multiplicities = store.multiplicities
-        for position in np.nonzero(mask)[0].tolist():
-            sub_relation.add(store.rows[position], int(multiplicities[position]))
+        sub_relation = _sub_relation_from_mask(relation, store, mask)
         return compute_node_views(
             node,
             sub_relation,

@@ -12,9 +12,10 @@ count views at the fact node.  Measured on the yelp/retailer generators the
 spread between the best and worst root is 2-4x.
 
 This module derives the statistics that make the choice data-driven — row
-counts and distinct connection-key counts, both one cached
-:meth:`~repro.data.colstore.ColumnStore.codes_for` call away — and scores
-every candidate root with a simple analytical model:
+counts and distinct connection-key counts, read straight off the column
+store's code arrays (:meth:`~repro.data.colstore.ColumnStore.distinct_count`
+never materialises the distinct value tuples a planner would not read) —
+and scores every candidate root with a simple analytical model:
 
 ``cost(root) = sum over nodes n of weight(n) * (rows(n) + distinct_keys(n))``
 

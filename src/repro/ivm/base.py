@@ -69,6 +69,11 @@ class JoinIndex:
         self.key_attributes = tuple(key_attributes)
         self.positions = relation.schema.indices_of(self.key_attributes)
         self._buckets: Optional[Dict[Tuple, Dict[Tuple, int]]] = None
+        # Updates land here first and are folded into the buckets on the
+        # next lookup — per-update cost is one list append instead of a
+        # handful of dictionary operations on paths that may never probe
+        # this index again.
+        self._pending: List[Tuple[Tuple, int]] = []
 
     @property
     def buckets(self) -> Dict[Tuple, Dict[Tuple, int]]:
@@ -77,7 +82,9 @@ class JoinIndex:
 
     def _ensure(self) -> None:
         if self._buckets is not None:
+            self._drain()
             return
+        self._pending.clear()
         store = self.relation.column_store()
         codes, tuples = store.codes_for(self.key_attributes)
         per_code: List[Dict[Tuple, int]] = [{} for _ in tuples]
@@ -91,6 +98,7 @@ class JoinIndex:
     def mark_stale(self) -> None:
         """Drop the buckets; the next lookup rebuilds them from the store."""
         self._buckets = None
+        self._pending.clear()
 
     @property
     def is_built(self) -> bool:
@@ -105,14 +113,24 @@ class JoinIndex:
             # Not built yet: the lazy rebuild will read the relation (which
             # receives the same update) instead of patching nothing.
             return
-        bucket = self._buckets.setdefault(self.key_of(row), {})
-        updated = bucket.get(row, 0) + multiplicity
-        if updated == 0:
-            bucket.pop(row, None)
-            if not bucket:
-                self._buckets.pop(self.key_of(row), None)
-        else:
-            bucket[row] = updated
+        self._pending.append((row, multiplicity))
+
+    def _drain(self) -> None:
+        if not self._pending:
+            return
+        buckets = self._buckets
+        assert buckets is not None
+        for row, multiplicity in self._pending:
+            key = self.key_of(row)
+            bucket = buckets.setdefault(key, {})
+            updated = bucket.get(row, 0) + multiplicity
+            if updated == 0:
+                bucket.pop(row, None)
+                if not bucket:
+                    buckets.pop(key, None)
+            else:
+                bucket[row] = updated
+        self._pending.clear()
 
     def lookup(self, key: Tuple) -> Dict[Tuple, int]:
         self._ensure()

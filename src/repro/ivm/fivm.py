@@ -59,11 +59,11 @@ from repro.data.colstore import DeltaColumnStore
 from repro.data.database import Database
 from repro.engine.deltas import merge_keyed_deltas, subtree_schedule
 from repro.engine.executor import SubtreeScheduler
-from repro.ivm.base import CovarianceMaintainer, JoinIndex, Update
+from repro.ivm.base import CovarianceMaintainer, Update
 from repro.ivm.payload_store import PayloadStore
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.join_tree import JoinTreeNode
-from repro.rings.covariance import CovarianceBlock, CovariancePayload
+from repro.rings.covariance import CovarianceBlock, CovariancePayload, PayloadScratch
 
 
 class _SlotMap:
@@ -165,15 +165,6 @@ class FIVM(CovarianceMaintainer):
                 )
             )
             self._views[node.relation_name] = view
-        # For every non-root node, an index of its parent's relation on the
-        # node's connection attributes, used by the per-tuple delta path.
-        self._parent_indexes: Dict[str, JoinIndex] = {}
-        for node in self.join_tree.nodes():
-            if node.parent is not None:
-                conn = sorted(node.connection_attributes())
-                self._parent_indexes[node.relation_name] = JoinIndex(
-                    self.database.relation(node.parent.relation_name), conn
-                )
         # Per node: its sorted connection attributes and their positions.
         self._conn_attrs: Dict[str, Tuple[str, ...]] = {}
         self._conn_positions: Dict[str, List[int]] = {}
@@ -220,11 +211,8 @@ class FIVM(CovarianceMaintainer):
             self._mirrors[node.relation_name] = mirror
         # (parent, sibling) -> cached mirror-key-code -> sibling-view-slot map.
         self._slot_maps: Dict[Tuple[str, str], _SlotMap] = {}
-        # Indexed-relation name -> the parent indexes over it, so the
-        # after-hook touches only the affected indexes.
-        self._indexes_by_relation: Dict[str, List[JoinIndex]] = {}
-        for index in self._parent_indexes.values():
-            self._indexes_by_relation.setdefault(index.relation.name, []).append(index)
+        # The per-tuple path's fused ring workspace (see PayloadScratch).
+        self._scratch = PayloadScratch(len(self.features))
         # The fused pass's traversal plan: tree levels deepest-first, each a
         # list of per-parent node groups (the unit of parallel dispatch).
         self._schedule = subtree_schedule(self.join_tree)
@@ -253,77 +241,61 @@ class FIVM(CovarianceMaintainer):
         positions = self._child_key_positions[(parent_name, child_name)]
         return tuple(row[position] for position in positions)
 
-    def _children_payload(
-        self, node: JoinTreeNode, row: Tuple, skip_child: Optional[str] = None
-    ) -> Optional[CovariancePayload]:
-        """Product of the children's view payloads matching ``row`` (None if any is missing)."""
-        payload = self.ring.one()
-        for child in node.children:
-            if skip_child is not None and child.relation_name == skip_child:
-                continue
-            key = self._child_key(node.relation_name, child.relation_name, row)
-            # peek aliases the store arrays; ring.multiply only reads them.
-            child_payload = self._views[child.relation_name].peek(key)
-            if child_payload is None:
-                return None
-            payload = self.ring.multiply(payload, child_payload)
-        return payload
-
     # -- per-tuple maintenance ------------------------------------------------------------------
 
     def _apply_update(self, update: Update) -> None:
-        node = self.join_tree.node(update.relation_name)
-        lifted = self.ring.scale(self.lift_row(update.relation_name, update.row), update.multiplicity)
+        """One signed tuple update, array-native end to end.
 
-        delta: Dict[Tuple, CovariancePayload] = {}
-        children_payload = self._children_payload(node, update.row)
-        if children_payload is not None:
-            delta[self._conn_key(node.relation_name, update.row)] = self.ring.multiply(
-                lifted, children_payload
-            )
-
-        current_node = node
-        current_delta = delta
-        while current_delta:
-            view = self._views[current_node.relation_name]
-            for key, payload in current_delta.items():
-                view.add(key, payload)
-            parent = current_node.parent
-            if parent is None:
+        The update's own delta payload — ``scale(lift(row), m)`` times the
+        children's view payloads at the row's child keys — is computed in the
+        maintainer's :class:`~repro.rings.covariance.PayloadScratch` (no
+        intermediate payload objects), added into the node's view, and then
+        pushed to the root through the *same* vectorised :meth:`_hop` the
+        batched path uses: a one-row block joined against the parent's
+        columnar mirror.  The seed's per-row walk over parent-relation hash
+        indexes is gone; the mirrors are the only propagation state.
+        """
+        name = update.relation_name
+        node = self.join_tree.node(name)
+        row = update.row
+        scratch = self._scratch
+        scratch.reset_lift(
+            float(update.multiplicity),
+            [(target, float(row[source])) for source, target in self._lift_plans[name]],
+        )
+        alive = True
+        for child in node.children:
+            positions = self._child_key_positions[(name, child.relation_name)]
+            if len(positions) == 1:
+                key = (row[positions[0]],)
+            else:
+                key = tuple(row[position] for position in positions)
+            view = self._views[child.relation_name]
+            slot = view.slot_of(key)
+            if slot < 0:
+                alive = False
                 break
-            index = self._parent_indexes[current_node.relation_name]
-            next_delta: Dict[Tuple, CovariancePayload] = {}
-            for key, payload in current_delta.items():
-                for parent_row, parent_multiplicity in index.lookup(key).items():
-                    other_children = self._children_payload(
-                        parent, parent_row, skip_child=current_node.relation_name
-                    )
-                    if other_children is None:
-                        continue
-                    contribution = self.ring.multiply(
-                        self.ring.scale(
-                            self.lift_row(parent.relation_name, parent_row), parent_multiplicity
-                        ),
-                        self.ring.multiply(payload, other_children),
-                    )
-                    parent_key = self._conn_key(parent.relation_name, parent_row)
-                    existing = next_delta.get(parent_key)
-                    next_delta[parent_key] = (
-                        contribution
-                        if existing is None
-                        else self.ring.add(existing, contribution)
-                    )
-            current_node = parent
-            current_delta = next_delta
+            view.multiply_scratch(scratch, slot)
+        if alive:
+            conn_key = self._conn_key(name, row)
+            self._views[name].add_scratch(conn_key, scratch)
+            if node.parent is not None:
+                keys: List[Tuple] = [conn_key]
+                block = scratch.block()
+                while True:
+                    hop = self._hop(node, keys, block)
+                    if hop is None:
+                        break
+                    keys, block = hop
+                    node = node.parent
+                    self._views[node.relation_name].scatter_add(keys, block)
+                    if node.parent is None:
+                        break
 
-        # Keep the propagation indexes and the columnar mirror in sync with
-        # the base-relation change.
-        for child_name, index in self._parent_indexes.items():
-            if index.relation.name == update.relation_name:
-                index.add(update.row, update.multiplicity)
-        mirror = self._mirrors.get(update.relation_name)
+        # Keep the columnar mirror in sync with the base-relation change.
+        mirror = self._mirrors.get(name)
         if mirror is not None:
-            mirror.append_rows([update.row], [update.multiplicity])
+            mirror.append_rows((row,), (update.multiplicity,))
 
     # -- batched maintenance --------------------------------------------------------------------
 
@@ -672,12 +644,6 @@ class FIVM(CovarianceMaintainer):
         )
 
     def _after_delta_group(self, relation_name, rows, multiplicities) -> None:
-        indexes = self._indexes_by_relation.get(relation_name)
-        if indexes:
-            for index in indexes:
-                if index.is_built:
-                    for row, multiplicity in zip(rows, multiplicities):
-                        index.add(row, int(multiplicity))
         mirror = self._mirrors.get(relation_name)
         if mirror is not None:
             mirror.append_rows(rows, multiplicities)

@@ -179,6 +179,34 @@ class PayloadStore:
             )
         return block.multiply_total(self.gather(slots))
 
+    def multiply_scratch(self, scratch, slot: int) -> None:
+        """``scratch *= payload(slot)`` in place, exploiting a known support.
+
+        The per-tuple counterpart of :meth:`multiply_into`; ``scratch`` is a
+        :class:`~repro.rings.covariance.PayloadScratch`.
+        """
+        support = self.support
+        if support is not None and len(support) == 0:
+            scratch.scale_by(self.counts[slot])
+            return
+        if support is not None and len(support) == 1:
+            position = support[0]
+            scratch.multiply_point(
+                self.counts[slot],
+                self.sums[slot, position],
+                self.moments[slot, position, position],
+                position,
+            )
+            return
+        scratch.multiply_dense(self.counts[slot], self.sums[slot], self.moments[slot])
+
+    def add_scratch(self, key: Tuple, scratch) -> None:
+        """Add a scratch payload into one slot (creating the key if new)."""
+        slot = self.slot_of(key, create=True)
+        self.counts[slot] += scratch.count
+        self.sums[slot] += scratch.sums
+        self.moments[slot] += scratch.moments
+
     def scatter_add(self, keys: Sequence[Tuple], block: CovarianceBlock) -> np.ndarray:
         """Add one block row per (distinct) key; returns the slot array used."""
         if len(keys) == 1:

@@ -154,6 +154,89 @@ class CovarianceRing(Ring):
         return total
 
 
+class PayloadScratch:
+    """Reusable ``(count, sums, moments)`` buffers for the per-tuple delta kernel.
+
+    The seed's per-tuple F-IVM path built 4-6 :class:`CovariancePayload`
+    objects per update (one lift, one scale, one ring product per child),
+    each allocating fresh ``d``/``(d, d)`` arrays whose cost is pure
+    dispatch overhead at realistic dimensions.  The scratch fuses the whole
+    chain — ``scale(lift(row), m) * payload_1 * ... * payload_k`` — into
+    in-place updates of one preallocated buffer pair, with support-aware
+    fast paths mirroring :meth:`CovarianceBlock.multiply_point` for
+    count-only and single-feature operands.  One scratch per maintainer; the
+    per-tuple path is single-threaded by construction.
+    """
+
+    __slots__ = ("count", "sums", "moments")
+
+    def __init__(self, dimension: int) -> None:
+        self.count = 0.0
+        self.sums = np.zeros(dimension)
+        self.moments = np.zeros((dimension, dimension))
+
+    def reset_lift(self, multiplicity: float, pairs) -> None:
+        """Load ``scale(lift(row), multiplicity)``; ``pairs`` lists the
+        ``(feature position, value)`` entries of the row's designated
+        features (all other coordinates are zero)."""
+        self.count = multiplicity
+        sums = self.sums
+        moments = self.moments
+        sums.fill(0.0)
+        moments.fill(0.0)
+        for position, value in pairs:
+            sums[position] = multiplicity * value
+        for row_position, row_value in pairs:
+            row = moments[row_position]
+            weighted = multiplicity * row_value
+            for column_position, column_value in pairs:
+                row[column_position] = weighted * column_value
+
+    def scale_by(self, factor: float) -> None:
+        """Ring product with a count-only payload ``(factor, 0, 0)``."""
+        self.count *= factor
+        self.sums *= factor
+        self.moments *= factor
+
+    def multiply_point(
+        self, count: float, sum_at: float, moment_at: float, position: int
+    ) -> None:
+        """Ring product with a payload supported on a single feature."""
+        old_count = self.count
+        sums = self.sums
+        moments = self.moments
+        moments *= count
+        cross = sums * sum_at
+        moments[:, position] += cross
+        moments[position, :] += cross
+        moments[position, position] += old_count * moment_at
+        sums *= count
+        sums[position] += old_count * sum_at
+        self.count = old_count * count
+
+    def multiply_dense(self, count: float, sums2: np.ndarray, moments2: np.ndarray) -> None:
+        """General in-place ring product (operand read-only, may alias storage)."""
+        old_count = self.count
+        sums = self.sums
+        moments = self.moments
+        moments *= count
+        moments += old_count * moments2
+        cross = np.outer(sums, sums2)
+        moments += cross
+        moments += cross.T
+        sums *= count
+        sums += old_count * sums2
+        self.count = old_count * count
+
+    def block(self) -> "CovarianceBlock":
+        """A one-row :class:`CovarianceBlock` copy (the scratch stays reusable)."""
+        return CovarianceBlock(
+            np.asarray([self.count]),
+            self.sums[None, :].copy(),
+            self.moments[None, :, :].copy(),
+        )
+
+
 class CovarianceBlock:
     """A stack of ``k`` covariance-ring elements as three aligned arrays.
 

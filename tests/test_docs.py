@@ -40,3 +40,31 @@ def test_fenced_snippets_carry_doctests():
 
 def test_fenced_doctests_pass():
     assert check_docs.check_doctests() == []
+
+
+def test_anchor_extraction_follows_github_slugs():
+    assert check_docs.heading_anchor("Architecture notes") == "architecture-notes"
+    assert (
+        check_docs.heading_anchor("The `BENCH_PR<n>.json` convention")
+        == "the-bench_prnjson-convention"
+    )
+    assert check_docs.heading_anchor("## is not stripped twice") != ""
+
+
+def test_broken_anchor_is_reported(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text("# Real section\n\nSee [gone](#renamed-away) and "
+                    "[ok](#real-section).\n")
+    other = tmp_path / "other.md"
+    other.write_text("Link [there](page.md#real-section) and "
+                     "[broken](page.md#no-such-heading).\n")
+    problems = check_docs.check_links([page, other])
+    assert len(problems) == 2
+    assert any("renamed-away" in problem for problem in problems)
+    assert any("no-such-heading" in problem for problem in problems)
+
+
+def test_duplicate_headings_get_suffix_anchors(tmp_path):
+    page = tmp_path / "dup.md"
+    page.write_text("# Setup\n\n# Setup\n\n[first](#setup) [second](#setup-1)\n")
+    assert check_docs.check_links([page]) == []

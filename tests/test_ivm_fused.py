@@ -433,8 +433,10 @@ def test_add_batch_logs_one_group():
     start = relation.version
     relation.add_batch([("x",), ("y",)], [1, 2])
     assert relation.changes_since(start) == [(("x",), 1), (("y",), 2)]
-    # One batch consumed one log slot, not two.
-    assert len(relation._change_log) == 1
+    # One batch consumed one log slot, not two (an array-slice group in the
+    # tuple store's log, since every row of the batch was a fresh append).
+    assert len(relation._store._log) == 1
+    assert relation._store._log[0].is_slice
     # An oversized batch drops coverage instead of pinning the rows.
     big = [(f"v{i}",) for i in range(500)]
     version = relation.version

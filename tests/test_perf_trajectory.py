@@ -9,15 +9,14 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
 import check_perf_trajectory as cpt  # noqa: E402
 
 
-def _report(tuples_per_s, scale="bench"):
+def _report(tuples_per_s, scale="bench", batch_1=None):
+    sizes = {"100": {"tuples_per_s": tuples_per_s}}
+    if batch_1 is not None:
+        sizes["1"] = {"tuples_per_s": batch_1}
     return {
         "figures": {
             f"ivm_throughput_{scale}": {
-                "strategies": {
-                    "fivm": {
-                        "batch_sizes": {"100": {"tuples_per_s": tuples_per_s}}
-                    }
-                }
+                "strategies": {"fivm": {"batch_sizes": sizes}}
             }
         }
     }
@@ -44,6 +43,24 @@ def test_main_on_fixture_directory(tmp_path):
     assert cpt.main(["--root", str(tmp_path)]) == 0
     (tmp_path / "BENCH_PR5.json").write_text(json.dumps(_report(50.0)))
     assert cpt.main(["--root", str(tmp_path)]) == 1
+
+
+def test_batch_1_series_is_checked_independently(tmp_path):
+    """A regression on the per-tuple (batch-1) path fails even when the
+    batched metric improves."""
+    (tmp_path / "BENCH_PR4.json").write_text(
+        json.dumps(_report(100.0, batch_1=20.0))
+    )
+    (tmp_path / "BENCH_PR5.json").write_text(
+        json.dumps(_report(300.0, batch_1=5.0))
+    )
+    assert cpt.main(["--root", str(tmp_path)]) == 1
+    (tmp_path / "BENCH_PR5.json").write_text(
+        json.dumps(_report(300.0, batch_1=40.0))
+    )
+    assert cpt.main(["--root", str(tmp_path)]) == 0
+    # Explicit single-batch selection keeps working.
+    assert cpt.main(["--root", str(tmp_path), "--metric-batch", "100"]) == 0
 
 
 def test_main_on_repository_trajectory():

@@ -313,6 +313,124 @@ def test_cached_views_agree_with_fresh_engine_on_yelp(small_yelp):
     _assert_results_equal(fresh, cached)
 
 
+# -- columnar root-view splice ----------------------------------------------------------
+
+
+def _root_patch_loop(options, steps=6):
+    """Shared driver: update loop on a fact-rooted yelp engine.
+
+    Returns the engine, its results per step, and how many root patches ran.
+    """
+    import random as _random
+
+    database, query, spec = load_dataset("yelp", review_rows=250, businesses=20, users=25)
+    batch = covariance_batch(spec.continuous_features, spec.categorical_features)
+    fact = max(query.relation_names, key=lambda name: len(database.relation(name)))
+    engine = LMFAOEngine(
+        database, query, EngineOptions(root_relation=fact, **options)
+    )
+    engine.evaluate(batch)
+    rng = _random.Random(31)
+    rows = list(database.relation(fact))
+    results = []
+    patched = 0
+    for step in range(steps):
+        row = rng.choice(rows)
+        database.relation(fact).add(row, -1 if step % 3 == 2 else 1)
+        result = engine.evaluate(batch)
+        results.append(result)
+        patched += result.executor_stats.get(STAT_ROOT_PATCHED, 0)
+    return database, query, batch, results, patched
+
+
+def test_columnar_root_patch_matches_dict_fallback_and_recompute():
+    """Both splice modes must agree with each other and with a fresh engine."""
+    _db1, _q1, _b1, columnar, patched_columnar = _root_patch_loop(
+        dict(columnar_root_patch=True)
+    )
+    database, query, batch, dict_mode, patched_dict = _root_patch_loop(
+        dict(columnar_root_patch=False)
+    )
+    assert patched_columnar > 0 and patched_dict > 0
+    for left, right in zip(columnar, dict_mode):
+        assert set(left.values) == set(right.values)
+        for name, value in left.values.items():
+            other = right.values[name]
+            if isinstance(value, dict):
+                shared = set(value) | set(other)
+                assert all(
+                    math.isclose(
+                        value.get(key, 0.0), other.get(key, 0.0),
+                        rel_tol=1e-7, abs_tol=1e-7,
+                    )
+                    for key in shared
+                )
+            else:
+                assert math.isclose(value, other, rel_tol=1e-7, abs_tol=1e-7)
+    fresh = LMFAOEngine(database, query, EngineOptions(cache_views=False)).evaluate(batch)
+    final = dict_mode[-1]
+    for name, value in fresh.values.items():
+        other = final.values[name]
+        if isinstance(value, dict):
+            assert all(
+                math.isclose(value[key], other.get(key, 0.0), rel_tol=1e-7, abs_tol=1e-7)
+                for key in value
+            )
+        else:
+            assert math.isclose(value, other, rel_tol=1e-7, abs_tol=1e-7)
+
+
+def test_columnar_root_patch_keeps_the_view_array_native():
+    """The spliced root view must stay a ColumnarView (no dict conversion)."""
+    from repro.engine.executor import ColumnarView
+
+    database, query, spec = load_dataset("yelp", review_rows=200, businesses=15, users=20)
+    batch = covariance_batch(spec.continuous_features, spec.categorical_features)
+    fact = max(query.relation_names, key=lambda name: len(database.relation(name)))
+    engine = LMFAOEngine(database, query, EngineOptions(root_relation=fact))
+    engine.evaluate(batch)
+    row = next(iter(database.relation(fact)))
+    database.relation(fact).add(row, 1)
+    result = engine.evaluate(batch)
+    assert result.executor_stats.get(STAT_ROOT_PATCHED, 0) > 0
+    root = engine.join_tree.root.relation_name
+    patched_views = [
+        view
+        for (node, _signature), (_versions, view) in engine._view_cache.items()
+        if node == root
+    ]
+    assert patched_views and all(
+        isinstance(view, ColumnarView) for view in patched_views
+    )
+
+
+def test_columnar_root_patch_appends_new_group_entries():
+    """A delta introducing an unseen group key still splices correctly."""
+    database = _star_database()
+    query = ConjunctiveQuery(["F", "D1", "D2"])
+    batch = AggregateBatch(
+        "grouped",
+        [Aggregate.sum_of(["m"], group_by=["k1"], name="m_by_k1")],
+    )
+    fact = "F"
+    engine = LMFAOEngine(database, query, EngineOptions(root_relation=fact))
+    engine.evaluate(batch)
+    # A fact row with a brand-new k1 value joins D1 only after D1 gains the
+    # key, so mutate D1's subtree first (full recompute there), then patch
+    # the root with a delta whose group key (k1=3) the cached view never saw.
+    database["D1"].add((3, 30))
+    engine.evaluate(batch)
+    database["F"].add((3, 1, 6))
+    patched = engine.evaluate(batch)
+    expected = LMFAOEngine(database, query, EngineOptions(cache_views=False)).evaluate(batch)
+    got = patched.values["m_by_k1"]
+    want = expected.values["m_by_k1"]
+    assert all(
+        math.isclose(want.get(key, 0.0), got.get(key, 0.0), rel_tol=1e-9, abs_tol=1e-9)
+        for key in set(want) | set(got)
+    )
+
+
 # -- IVM integration --------------------------------------------------------------------
 
 

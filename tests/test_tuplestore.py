@@ -1,0 +1,374 @@
+"""The array-native tuple store vs the old dict semantics.
+
+Property-style suite: randomized insert/delete streams with cancelling
+multiplicities are applied both to a :class:`~repro.data.relation.Relation`
+(backed by :class:`~repro.data.tuplestore.TupleStore`) and to a plain
+``dict[tuple, int]`` reference model, and every observable — netting,
+deletion-to-zero, membership, totals, the change log, version bumps — must
+agree.  Compaction and the zero-copy snapshot contract are covered
+explicitly, and a regression test pins the headline storage claim: a full
+IVM insert/delete stream never triggers a whole-relation re-encode
+(``tuplestore_stats["full_encodes"] == 0``) on any of the three strategies.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Database, Relation, Schema
+from repro.data.colstore import ColumnStore
+from repro.data.tuplestore import (
+    COMPACT_MIN_ZEROS,
+    TupleStore,
+    reset_tuplestore_stats,
+    tuplestore_stats,
+)
+
+SCHEMA = Schema.from_names(["k", "v"], categorical_names=["k"])
+
+
+def _reference_apply(model, row, multiplicity):
+    updated = model.get(row, 0) + multiplicity
+    if updated == 0:
+        model.pop(row, None)
+    else:
+        model[row] = updated
+
+
+def _assert_matches_model(relation, model):
+    assert len(relation) == len(model)
+    assert relation.total_multiplicity() == sum(model.values())
+    assert dict(relation.items()) == model
+    assert set(relation) == set(model)
+    for row, multiplicity in model.items():
+        assert relation.multiplicity(row) == multiplicity
+        assert row in relation
+
+
+# -- randomized streams ----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23])
+def test_randomized_cancel_heavy_stream_matches_dict_model(seed):
+    rng = random.Random(seed)
+    relation = Relation("R", SCHEMA)
+    model: dict = {}
+    rows = [(f"k{index % 6}", index % 4) for index in range(12)]
+    for _step in range(600):
+        row = rng.choice(rows)
+        multiplicity = rng.choice([1, 1, 1, -1, -1, 2, -2])
+        _reference_apply(model, row, multiplicity)
+        relation.add(row, multiplicity)
+    _assert_matches_model(relation, model)
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_randomized_batches_match_dict_model(seed):
+    rng = random.Random(seed)
+    relation = Relation("R", SCHEMA)
+    model: dict = {}
+    universe = [(f"k{index % 5}", index % 7) for index in range(20)]
+    for _batch in range(40):
+        size = rng.randint(1, 25)
+        rows = [rng.choice(universe) for _ in range(size)]
+        multiplicities = [rng.choice([1, 1, -1, 2]) for _ in range(size)]
+        for row, multiplicity in zip(rows, multiplicities):
+            _reference_apply(model, row, multiplicity)
+        relation.add_batch(rows, multiplicities)
+        _assert_matches_model(relation, model)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=4),
+            st.integers(min_value=0, max_value=2),
+            st.sampled_from([1, 1, -1, 2, -2]),
+        ),
+        max_size=60,
+    )
+)
+def test_hypothesis_streams_net_like_a_dict(events):
+    relation = Relation("R", Schema.from_names(["a", "b"]))
+    model: dict = {}
+    for a, b, multiplicity in events:
+        row = (a, b)
+        _reference_apply(model, row, multiplicity)
+        relation.add(row, multiplicity)
+    _assert_matches_model(relation, model)
+
+
+# -- netting, compaction and snapshots -------------------------------------------------
+
+
+def test_deletion_to_zero_leaves_no_observable_row():
+    relation = Relation("R", SCHEMA)
+    relation.add(("a", 1), 2)
+    relation.add(("a", 1), -2)
+    assert ("a", 1) not in relation
+    assert len(relation) == 0
+    assert list(relation.items()) == []
+    # The columnar snapshot is dense: the cancelled row was compacted away.
+    store = relation.column_store()
+    assert store.row_count == 0
+
+
+def test_compaction_triggers_and_preserves_content():
+    relation = Relation("R", SCHEMA)
+    store = relation._store
+    count = COMPACT_MIN_ZEROS * 4
+    rows = [(f"k{index}", index) for index in range(count)]
+    relation.add_batch(rows, [1] * count)
+    epoch = store.epoch
+    version = relation.version
+    survivors = {}
+    deletions, kept = [], []
+    for index, row in enumerate(rows):
+        if index % 2:
+            deletions.append(row)
+        else:
+            kept.append(row)
+            survivors[row] = 1
+    relation.add_batch(deletions, [-1] * len(deletions))
+    # Half the rows are tombstones -> the store must have compacted.
+    assert store.epoch > epoch
+    assert store.zeros == 0
+    assert store.row_count == len(kept)
+    assert dict(relation.items()) == survivors
+    # Compaction is physical only: exactly one logical version bump happened.
+    assert relation.version == version + 1
+    assert tuplestore_stats["compactions"] >= 1
+
+
+def test_column_store_is_zero_copy_and_epoch_guarded():
+    relation = Relation("R", SCHEMA, rows=[("a", 1), ("b", 2), ("a", 1)])
+    store = relation.column_store()
+    assert relation.column_store() is store           # cached while unchanged
+    inner = relation._store
+    assert np.shares_memory(
+        store.multiplicities, inner.multiplicities_view()
+    )
+    assert np.shares_memory(
+        store.encoding("v").codes, inner.column_codes_view(1)
+    )
+    # A mutation invalidates the wrapper; the replacement re-wraps the
+    # (already encoded) arrays instead of re-encoding the relation.
+    reset_tuplestore_stats()
+    relation.add(("c", 3), 1)
+    fresh = relation.column_store()
+    assert fresh is not store
+    assert fresh.row_count == len(relation)
+    assert tuplestore_stats["full_encodes"] == 0
+    # Compaction alone (same version) also invalidates via the epoch guard.
+    relation.add(("c", 3), -1)
+    assert relation.cached_column_store() is None
+
+
+def test_snapshot_codes_round_trip_after_mixed_mutations():
+    relation = Relation("R", SCHEMA)
+    rng = random.Random(5)
+    model: dict = {}
+    for _ in range(300):
+        row = (f"k{rng.randint(0, 9)}", rng.randint(0, 3))
+        multiplicity = rng.choice([1, 1, -1])
+        _reference_apply(model, row, multiplicity)
+        relation.add(row, multiplicity)
+        if rng.random() < 0.1:
+            store = relation.column_store()
+            codes, keys = store.codes_for(("k", "v"))
+            decoded = {}
+            for position, code in enumerate(codes.tolist()):
+                decoded_row = keys[code]
+                decoded[decoded_row] = decoded.get(decoded_row, 0) + int(
+                    store.multiplicities[position]
+                )
+            assert decoded == model
+
+
+def test_distinct_count_ignores_dictionary_ghosts():
+    """Values surviving only in the (append-only) dictionary don't count."""
+    relation = Relation("R", SCHEMA)
+    relation.add(("a", 1), 1)
+    relation.add(("b", 2), 1)
+    relation.column_store()          # encode both rows
+    relation.add(("b", 2), -1)       # tombstone -> "b"/2 stay in dictionaries
+    store = relation.column_store()
+    assert store.distinct_count(("k",)) == 1
+    assert store.distinct_count(("k", "v")) == 1
+
+
+# -- version bumps and the change log --------------------------------------------------
+
+
+def test_version_bumps_once_per_mutation_group():
+    relation = Relation("R", SCHEMA)
+    version = relation.version
+    relation.add(("a", 1), 1)
+    assert relation.version == version + 1
+    relation.add_batch([("b", 1), ("c", 1)], [1, 1])
+    assert relation.version == version + 2
+    relation.clear()
+    assert relation.version == version + 3
+
+
+def test_change_log_slices_record_pure_appends():
+    relation = Relation("R", SCHEMA)
+    start = relation.version
+    relation.add_batch([("a", 1), ("b", 2)], [1, 2])
+    log = relation._store._log
+    assert len(log) == 1 and log[0].is_slice
+    assert relation.changes_since(start) == [(("a", 1), 1), (("b", 2), 2)]
+
+
+def test_change_log_slice_survives_netting_elsewhere():
+    """Netting below the slice floor must not disturb slice decoding."""
+    relation = Relation("R", SCHEMA)
+    relation.add(("a", 1), 5)                      # slot 0, pair group
+    start = relation.version
+    relation.add_batch([("b", 2), ("c", 3)], [1, 2])   # slots 1-2, slice group
+    relation.add(("a", 1), -2)                     # nets slot 0 (< slice floor)
+    assert relation.changes_since(start) == [
+        (("b", 2), 1),
+        (("c", 3), 2),
+        (("a", 1), -2),
+    ]
+
+
+def test_change_log_slice_materialises_when_its_slot_nets():
+    """Netting into a sliced slot converts the slice to explicit pairs."""
+    relation = Relation("R", SCHEMA)
+    start = relation.version
+    relation.add_batch([("a", 1), ("b", 2)], [1, 2])
+    relation.add(("a", 1), 4)                      # nets into the sliced slot
+    assert relation.changes_since(start) == [
+        (("a", 1), 1),
+        (("b", 2), 2),
+        (("a", 1), 4),
+    ]
+    # The in-place multiplicity (5) must not leak into the logged delta (1).
+    assert relation.multiplicity(("a", 1)) == 5
+
+
+def test_change_log_coverage_drops_on_overflow_and_clear():
+    relation = Relation("R", SCHEMA)
+    start = relation.version
+    for index in range(200):
+        relation.add((f"k{index}", index), 1)
+    assert relation.changes_since(start) is None   # bounded log rolled over
+    recent = relation.version
+    relation.add(("fresh", 0), 1)
+    assert relation.changes_since(recent) == [(("fresh", 0), 1)]
+    relation.clear()
+    assert relation.changes_since(recent) is None
+
+
+def test_compaction_preserves_change_log_contents():
+    relation = Relation("R", SCHEMA)
+    count = COMPACT_MIN_ZEROS * 4
+    rows = [(f"k{index}", index) for index in range(count)]
+    relation.add_batch(rows, [1] * count)
+    start = relation.version
+    relation.add(("extra", 1), 1)
+    epoch = relation._store.epoch
+    # Delete enough rows to force a compaction (slots move under the log)
+    # while staying below the log's own group-size coverage limit.
+    victims = rows[: COMPACT_MIN_ZEROS + 6]
+    relation.add_batch(victims, [-1] * len(victims))
+    assert relation._store.epoch > epoch
+    assert relation.changes_since(start) == [(("extra", 1), 1)] + [
+        (row, -1) for row in victims
+    ]
+
+
+# -- round trips -----------------------------------------------------------------------
+
+
+def test_from_rows_round_trip_through_delta_store():
+    rows = [("a", 1), ("b", 2), ("a", 3)]
+    multiplicities = np.asarray([2.0, -1.0, 1.0])
+    store = ColumnStore.from_rows("D", SCHEMA, rows, multiplicities)
+    assert store.row_count == 3
+    assert store.rows == rows
+    assert np.allclose(store.multiplicities, multiplicities)
+    codes, keys = store.codes_for(("k", "v"))
+    rebuilt = {}
+    for position, code in enumerate(codes.tolist()):
+        key = keys[code]
+        rebuilt[key] = rebuilt.get(key, 0.0) + float(store.multiplicities[position])
+    assert rebuilt == {("a", 1): 2.0, ("b", 2): -1.0, ("a", 3): 1.0}
+
+
+def test_relation_constructors_round_trip():
+    by_rows = Relation("R", SCHEMA, rows=[("a", 1), ("b", 2), ("a", 1)])
+    by_mults = Relation("R", SCHEMA, multiplicities={("a", 1): 2, ("b", 2): 1})
+    by_columns = Relation.from_columns(
+        "R", SCHEMA, {"k": ["a", "b", "a"], "v": [1, 2, 1]}
+    )
+    assert by_rows == by_mults == by_columns
+    clone = by_rows.copy("Clone")
+    assert clone == by_rows
+    clone.add(("c", 9))
+    assert clone != by_rows
+
+
+def test_store_copy_is_independent():
+    store = TupleStore(SCHEMA)
+    store.add(("a", 1), 2)
+    clone = store.copy()
+    clone.add(("a", 1), -2)
+    assert store.multiplicity(("a", 1)) == 2
+    assert clone.multiplicity(("a", 1)) == 0
+
+
+# -- deterministic canonical orders ----------------------------------------------------
+
+
+def test_expanded_and_sampled_rows_ignore_insertion_history():
+    straight = Relation("R", SCHEMA, rows=[("a", 1), ("b", 2), ("c", 3)])
+    detoured = Relation("R", SCHEMA)
+    # Same multiset via a different history: extra rows inserted and
+    # cancelled, survivors inserted in reverse order.
+    detoured.add(("z", 9), 1)
+    for row in [("c", 3), ("b", 2), ("a", 1)]:
+        detoured.add(row, 1)
+    detoured.add(("z", 9), -1)
+    assert list(straight.expanded_rows()) == list(detoured.expanded_rows())
+    assert straight.sample_rows(2, seed=3) == detoured.sample_rows(2, seed=3)
+
+
+# -- the headline storage regression ---------------------------------------------------
+
+
+def test_ivm_streams_never_full_encode():
+    """An insert/delete IVM stream runs end-to-end without one whole-relation
+    re-encode, on all three strategies (tuplestore_stats["full_encodes"])."""
+    from repro.datasets import retailer_database, retailer_query
+    from repro.ivm import FIVM, FirstOrderIVM, HigherOrderIVM, Update
+
+    database = retailer_database(inventory_rows=150, stores=4, items=10, dates=6, seed=3)
+    query = retailer_query()
+    features = ["inventoryunits", "prize", "maxtemp"]
+    inserts = [
+        Update(relation.name, row, 1) for relation in database for row in relation
+    ]
+    random.Random(17).shuffle(inserts)
+    deletes = [Update(u.relation_name, u.row, -1) for u in inserts[::2]]
+    for strategy in (FIVM, FirstOrderIVM, HigherOrderIVM):
+        maintainer = strategy(database, query, features)
+        reset_tuplestore_stats()
+        for update in inserts[: len(inserts) // 2]:          # per-tuple path
+            maintainer.apply(update)
+        maintainer.apply_batch(inserts[len(inserts) // 2 :])  # batched path
+        maintainer.apply_batch(deletes)                       # cancelling deltas
+        assert tuplestore_stats["full_encodes"] == 0, strategy.__name__
+        reference = maintainer.recompute_statistics()
+        maintained = maintainer.statistics()
+        assert np.isclose(maintained.count, reference.count)
+        assert np.allclose(maintained.sums, reference.sums)
+        assert np.allclose(maintained.moments, reference.moments)

@@ -8,8 +8,12 @@ functions) to fail the build when the documentation drifts from the code::
 Two checks:
 
 - **link check** — every relative link target in ``README.md`` and
-  ``docs/*.md`` must exist in the repository (external ``http(s)`` links and
-  pure anchors are skipped);
+  ``docs/*.md`` must exist in the repository (external ``http(s)`` links are
+  skipped), and every link *anchor* — same-file ``#section`` fragments and
+  cross-file ``page.md#section`` fragments alike — must match a heading of
+  the target markdown file (GitHub slug rules, any heading level), so
+  renaming a section fails the build instead of silently breaking its
+  inbound links;
 - **doctest check** — every fenced ``python`` code block that contains
   interpreter-prompt lines (``>>>``) is executed with :mod:`doctest`;
   consecutive blocks of one file share a namespace, so a snippet can build
@@ -31,21 +35,75 @@ DOC_FILES = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*$", re.MULTILINE)
+_ANCHOR_DROP = re.compile(r"[^\w\- ]")
+
+
+def heading_anchor(heading: str) -> str:
+    """The GitHub-style anchor slug of one markdown heading."""
+    text = heading.replace("`", "").strip().lower()
+    text = _ANCHOR_DROP.sub("", text)
+    return text.replace(" ", "-")
+
+
+def markdown_anchors(path: Path) -> set:
+    """All heading anchors of one markdown file (every ``#``..``######`` level).
+
+    Duplicate headings get GitHub's ``-1``/``-2`` suffixes in addition to the
+    base slug, so links to either form resolve.
+    """
+    anchors: set = set()
+    counts: dict = {}
+    for match in _HEADING.finditer(path.read_text()):
+        slug = heading_anchor(match.group(2))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+    return anchors
+
+
+def _display(path: Path) -> str:
+    """Repo-relative rendering of ``path`` (plain name outside the repo)."""
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return path.name
 
 
 def check_links(paths: List[Path] = None) -> List[str]:
-    """Relative link targets that do not exist, as ``file: target`` strings."""
+    """Broken link targets and anchors, as ``file: problem`` strings."""
     problems: List[str] = []
+    anchor_cache: dict = {}
+
+    def anchors_of(target_path: Path) -> set:
+        resolved = target_path.resolve()
+        if resolved not in anchor_cache:
+            anchor_cache[resolved] = markdown_anchors(resolved)
+        return anchor_cache[resolved]
+
     for path in paths or DOC_FILES:
         if not path.exists():
-            problems.append(f"{path.relative_to(REPO_ROOT)}: file missing")
+            problems.append(f"{_display(path)}: file missing")
             continue
         for target in _LINK.findall(path.read_text()):
-            if target.startswith(("http://", "https://", "mailto:", "#")):
+            if target.startswith(("http://", "https://", "mailto:")):
                 continue
-            resolved = (path.parent / target.split("#")[0]).resolve()
-            if not resolved.exists():
-                problems.append(f"{path.relative_to(REPO_ROOT)}: broken link {target}")
+            base, _hash, fragment = target.partition("#")
+            if base:
+                resolved = (path.parent / base).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{_display(path)}: broken link {target}"
+                    )
+                    continue
+            else:
+                resolved = path
+            if fragment and resolved.suffix == ".md":
+                if fragment.lower() not in anchors_of(resolved):
+                    problems.append(
+                        f"{_display(path)}: broken anchor {target} "
+                        f"(no such heading in {resolved.name})"
+                    )
     return problems
 
 

@@ -1,16 +1,19 @@
 """Assert the recorded benchmark trajectory does not regress across PRs.
 
 Loads every ``BENCH_PR<n>.json`` in the repository root and checks that the
-batch-100 F-IVM maintenance throughput — the headline metric of the IVM
-update path, recorded since PR 3 in the ``ivm_throughput_<scale>`` figures —
-is monotonically non-regressing from PR to PR within a noise tolerance.
-PRs that predate a figure (PR 1/2 have no IVM sweep) are skipped for that
-series; a series with fewer than two points passes vacuously.
+F-IVM maintenance throughput recorded since PR 3 in the
+``ivm_throughput_<scale>`` figures is monotonically non-regressing from PR
+to PR within a noise tolerance — at batch size 100 (the headline batched
+metric) *and*, since PR 5, at batch size 1 (the per-tuple path the
+array-native store was built to speed up; a storage regression would show
+there first).  PRs that predate a figure (PR 1/2 have no IVM sweep) are
+skipped for that series; a series with fewer than two points passes
+vacuously.
 
 CI runs this after the benchmark smoke::
 
     python tools/check_perf_trajectory.py
-    python tools/check_perf_trajectory.py --tolerance 0.75 --metric-batch 100
+    python tools/check_perf_trajectory.py --tolerance 0.75 --metric-batch 100 1
 
 The tolerance is multiplicative: PR ``n+1`` must reach at least
 ``tolerance * max(throughput of PRs <= n)``.  The default of 0.75 absorbs
@@ -30,6 +33,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: The scales a trajectory series is built for (skipped when absent).
 SCALES = ("bench", "large")
+
+#: Batch sizes checked by default: the batched headline and the per-tuple path.
+DEFAULT_BATCHES = (100, 1)
 
 
 def load_trajectory(root: Path):
@@ -77,8 +83,9 @@ def main(argv=None) -> int:
                         help="directory holding the BENCH_PR<n>.json files")
     parser.add_argument("--tolerance", type=float, default=0.75,
                         help="allowed noise fraction of the best earlier figure")
-    parser.add_argument("--metric-batch", type=int, default=100,
-                        help="IVM batch size the trajectory is checked at")
+    parser.add_argument("--metric-batch", type=int, nargs="+",
+                        default=list(DEFAULT_BATCHES),
+                        help="IVM batch size(s) the trajectory is checked at")
     arguments = parser.parse_args(argv)
 
     reports = load_trajectory(Path(arguments.root))
@@ -88,19 +95,23 @@ def main(argv=None) -> int:
 
     failed = False
     for scale in SCALES:
-        series = []
-        for pr, report in reports:
-            value = fivm_batch_throughput(report, scale, arguments.metric_batch)
-            if value is not None:
-                series.append((pr, value))
-        if len(series) < 2:
-            print(f"[{scale}] fewer than two recorded points; skipped")
-            continue
-        rendered = " -> ".join(f"PR{pr}: {value:,.0f} t/s" for pr, value in series)
-        print(f"[{scale}] batch-{arguments.metric_batch} F-IVM: {rendered}")
-        for violation in check_series(series, arguments.tolerance):
-            failed = True
-            print(f"[{scale}] REGRESSION: {violation}")
+        for batch_size in arguments.metric_batch:
+            series = []
+            for pr, report in reports:
+                value = fivm_batch_throughput(report, scale, batch_size)
+                if value is not None:
+                    series.append((pr, value))
+            if len(series) < 2:
+                print(f"[{scale}] batch-{batch_size}: fewer than two recorded "
+                      "points; skipped")
+                continue
+            rendered = " -> ".join(
+                f"PR{pr}: {value:,.0f} t/s" for pr, value in series
+            )
+            print(f"[{scale}] batch-{batch_size} F-IVM: {rendered}")
+            for violation in check_series(series, arguments.tolerance):
+                failed = True
+                print(f"[{scale}] batch-{batch_size} REGRESSION: {violation}")
 
     if failed:
         return 1
