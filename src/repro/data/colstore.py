@@ -54,22 +54,34 @@ class ColumnEncoding:
         return len(self.values)
 
     def float_values(self) -> Optional[np.ndarray]:
-        """The dictionary decoded to float64 (None when not numeric)."""
+        """The dictionary decoded to float64 (None when not numeric).
+
+        The lazy fill computes first and publishes the ready flag *last*:
+        pinned snapshots are shared by concurrent serving readers, and a
+        flag set before the value would let a second reader observe
+        ``ready`` with the value still unset (misread as "not numeric").
+        Racing fills at worst duplicate the work — both results are equal.
+        """
         if not self._float_ready:
-            self._float_ready = True
             try:
-                self._float_values = np.asarray(
+                decoded: Optional[np.ndarray] = np.asarray(
                     [float(value) for value in self.values], dtype=np.float64
                 )
             except (TypeError, ValueError):
-                self._float_values = None
+                decoded = None
+            self._float_values = decoded
+            self._float_ready = True
         return self._float_values
 
     def sortable_values(self) -> Optional[np.ndarray]:
-        """The dictionary as a typed numpy array (None when not comparable)."""
+        """The dictionary as a typed numpy array (None when not comparable).
+
+        Same publish-last ordering as :meth:`float_values` for concurrent
+        readers sharing a pinned snapshot.
+        """
         if not self._sortable_ready:
-            self._sortable_ready = True
             self._sortable = as_sortable_array(self.values)
+            self._sortable_ready = True
         return self._sortable
 
 
@@ -198,7 +210,7 @@ class ColumnStore:
         # row.  Relation.column_store() takes the zero-copy
         # :meth:`from_tuplestore` path instead; anything still landing here
         # pays the full encode and is counted so regressions are visible.
-        tuplestore_stats["full_encodes"] += 1
+        tuplestore_stats.bump("full_encodes")
         rows: List[Tuple] = []
         multiplicities: List[float] = []
         for row, multiplicity in relation.items():
@@ -240,7 +252,7 @@ class ColumnStore:
         not be read once the owning relation mutated again (in-place
         multiplicity netting writes through the aliased arrays).
         """
-        tuplestore_stats["zero_copy_snapshots"] += 1
+        tuplestore_stats.bump("zero_copy_snapshots")
         snapshot = cls.__new__(cls)
         snapshot._init_from(
             name,

@@ -183,6 +183,38 @@ class Relation:
         """Mutation counter; bumped on every change to the stored tuples."""
         return self._store.version
 
+    @property
+    def storage_key(self) -> Tuple[int, int]:
+        """The ``(version, epoch)`` pair guarding zero-copy snapshots."""
+        store = self._store
+        return (store.version, store.epoch)
+
+    # -- snapshot pinning (the serving layer's epoch generations) ----------------
+
+    def pin(self) -> None:
+        """Pin the store's current arrays for an epoch-stable snapshot.
+
+        See :meth:`repro.data.tuplestore.TupleStore.pin`; the serving
+        layer's :class:`~repro.serving.SnapshotManager` pins every relation
+        of a published generation and releases the pins when the generation
+        retires.
+        """
+        self._store.pin()
+
+    def unpin(self) -> None:
+        """Release one snapshot pin (never runs physical work)."""
+        self._store.unpin()
+
+    def compact_storage(self) -> None:
+        """Force a tombstone sweep even while snapshot pins are held.
+
+        The publish path wants dense arrays for the next generation's
+        snapshot; the sweep replaces (never mutates) the stored arrays, so
+        already-pinned generations keep reading their original buffers.
+        """
+        if self._store.zeros:
+            self._store.compact(force=True)
+
     def column_store(self):
         """The cached dictionary-encoded columnar view of this relation.
 

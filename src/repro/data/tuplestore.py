@@ -39,6 +39,23 @@ bumps the epoch (rows move).  Every consumer already guards on the version —
 the relation's cache additionally guards on the epoch — so a stale snapshot
 is never read.
 
+Snapshot pinning
+----------------
+The serving layer (:mod:`repro.serving`) hands zero-copy snapshots to
+concurrent reader threads while a single writer keeps mutating the store.
+:meth:`~TupleStore.pin` marks the *current* physical arrays as referenced by
+such a snapshot generation; while any pin is held
+
+- in-place multiplicity netting into a pinned slot first detaches the
+  multiplicity buffer copy-on-write (the pinned view keeps the old buffer,
+  which is never written again), and
+- :meth:`~TupleStore.compact` defers (``force=True`` overrides it for the
+  writer-side publish path — compaction *replaces* the row list, code and
+  multiplicity arrays rather than mutating them, so pinned views stay intact).
+
+Appends never need protection: they write at slots at or beyond every pinned
+view's length, and a buffer reallocation leaves the old buffer untouched.
+
 The module-level :data:`tuplestore_stats` counters make the storage claims
 testable: ``full_encodes`` counts legacy whole-relation re-encodes (the
 regression suite asserts it stays 0 across IVM streams), ``compactions``
@@ -47,25 +64,53 @@ counts tombstone sweeps.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 __all__ = ["TupleStore", "tuplestore_stats", "reset_tuplestore_stats"]
 
+
+class StatsCounters(dict):
+    """A counter mapping whose increments are lock-protected.
+
+    Plain ``stats[key] += 1`` is a read-modify-write of three bytecodes and
+    loses increments when several threads race it (serving readers all bump
+    ``zero_copy_snapshots``/``full_encodes`` through their snapshot reads).
+    Mutating call sites go through :meth:`bump`; reads stay plain dict
+    lookups — under the GIL a lookup is atomic, and a reader observing a
+    counter one bump early is fine.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._lock = threading.Lock()
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        with self._lock:
+            self[key] = self.get(key, 0) + amount
+
+    def reset(self) -> None:
+        with self._lock:
+            for key in self:
+                self[key] = 0
+
+
 #: Global storage-behaviour counters (see the module docstring).
-tuplestore_stats: Dict[str, int] = {
+tuplestore_stats: StatsCounters = StatsCounters({
     "full_encodes": 0,      # legacy ColumnStore(relation) whole-relation encodes
     "zero_copy_snapshots": 0,  # ColumnStore.from_tuplestore handoffs
     "compactions": 0,       # tombstone sweeps
     "batch_appends": 0,     # vectorised add_batch calls
-}
+    "deferred_compactions": 0,  # compactions skipped because a snapshot was pinned
+    "mult_copy_on_write": 0,    # multiplicity buffers detached to protect a pin
+})
 
 
 def reset_tuplestore_stats() -> None:
     """Zero all counters (tests isolate their assertions this way)."""
-    for key in tuplestore_stats:
-        tuplestore_stats[key] = 0
+    tuplestore_stats.reset()
 
 
 #: How many recent change groups the store's log remembers.
@@ -145,6 +190,14 @@ class _ColumnCodes:
         count = len(raw)
         if count == 0:
             return
+        if count <= 32:
+            # Small tails (per-batch flushes under streaming updates, and
+            # per-publish flushes in the serving layer) are dominated by the
+            # fixed np.unique/asarray overhead below — plain dictionary
+            # probes win by an order of magnitude at this size.
+            code_of = self.code_of
+            self.codes.extend([code_of(value) for value in raw])
+            return
         kinds = set(map(type, raw))
         try:
             if kinds <= {int, bool} or kinds == {str} or (
@@ -216,7 +269,8 @@ class TupleStore:
 
     __slots__ = ("schema", "_rows", "_row_index", "_mults", "_columns",
                  "_encoded_count", "live", "zeros", "total", "version", "epoch",
-                 "_log", "_log_floor", "_slice_floor")
+                 "_log", "_log_floor", "_slice_floor",
+                 "pins", "_pin_floor", "_cow_pending", "_compact_deferred")
 
     def __init__(self, schema) -> None:
         self.schema = schema
@@ -238,6 +292,15 @@ class TupleStore:
         # forces slice groups down to explicit pairs (their in-place
         # multiplicities would otherwise stop matching the applied deltas).
         self._slice_floor: Optional[int] = None
+        # Snapshot pinning (see the module docstring): how many snapshot
+        # generations reference this store's buffers, whether the *current*
+        # multiplicity buffer is among the referenced ones (netting below
+        # the pin floor must then detach it copy-on-write), and whether a
+        # compaction was deferred while pins were held.
+        self.pins = 0
+        self._pin_floor = 0
+        self._cow_pending = False
+        self._compact_deferred = False
 
     # -- basic reads -------------------------------------------------------------------
 
@@ -291,6 +354,50 @@ class TupleStore:
     def column_codes_view(self, position: int) -> np.ndarray:
         self.flush_encodings()
         return self._columns[position].codes.view()
+
+    # -- snapshot pinning (consumed by repro.serving.SnapshotManager) -------------------
+
+    def pin(self) -> None:
+        """Mark the current physical arrays as referenced by a pinned snapshot.
+
+        Writer-side only (call under whatever serializes mutations).  While
+        pins are held, netting into a slot below the pin floor detaches the
+        multiplicity buffer copy-on-write and non-forced compaction defers,
+        so every array a pinned :class:`~repro.data.colstore.ColumnStore`
+        aliases stays bit-identical to its pin-time content.
+        """
+        self.pins += 1
+        self._cow_pending = True
+        self._pin_floor = self._mults.size
+
+    def unpin(self) -> None:
+        """Release one pin.  Safe from any thread holding the manager's lock.
+
+        Deliberately does *not* run a deferred compaction — that would move
+        physical work onto a reader thread racing the writer; the writer's
+        next mutation (or forced publish-time compaction) picks it up via
+        :meth:`_maybe_compact`.
+        """
+        if self.pins <= 0:
+            raise RuntimeError("TupleStore.unpin without a matching pin")
+        self.pins -= 1
+        if self.pins == 0:
+            self._cow_pending = False
+            self._pin_floor = 0
+
+    def _detach_mults(self) -> None:
+        """Copy-on-write detach of the multiplicity buffer.
+
+        Every pinned snapshot keeps (and continues to read) the old buffer,
+        which is never written again; netting proceeds on the fresh copy.
+        """
+        current = self._mults
+        detached = _GrowArray(np.float64, capacity=max(current.data.shape[0], 1))
+        detached.extend(current.view())
+        self._mults = detached
+        self._cow_pending = False
+        self._pin_floor = 0
+        tuplestore_stats.bump("mult_copy_on_write")
 
     def flush_encodings(self) -> None:
         """Encode the pending row tail into the per-column code arrays.
@@ -358,7 +465,7 @@ class TupleStore:
                     np.asarray([m for _r, m in payload], dtype=np.float64),
                 )
                 applied = len(payload)
-                tuplestore_stats["batch_appends"] += 1
+                tuplestore_stats.bump("batch_appends")
                 self._log_slice(self.version, start, start + applied)
         else:
             pairs: List[Tuple[Tuple, int]] = []
@@ -389,6 +496,11 @@ class TupleStore:
         self.live = 0
         self.zeros = 0
         self.total = 0.0
+        # All buffers were replaced: pinned snapshots keep the old (now
+        # immutable) ones, and nothing references the fresh arrays yet.
+        self._cow_pending = False
+        self._pin_floor = 0
+        self._compact_deferred = False
         self._drop_log()
 
     def _apply_one(self, row: Tuple, multiplicity: int) -> None:
@@ -402,6 +514,10 @@ class TupleStore:
             floor = self._slice_floor
             if floor is not None and slot >= floor:
                 self._materialise_slices()
+            if self._cow_pending and slot < self._pin_floor:
+                # The slot is visible to a pinned snapshot; writing it in
+                # place would tear that snapshot's multiplicities.
+                self._detach_mults()
             mults = self._mults.data
             before = mults[slot]
             updated = before + multiplicity
@@ -428,17 +544,33 @@ class TupleStore:
     # -- compaction --------------------------------------------------------------------
 
     def _maybe_compact(self) -> None:
+        if self._compact_deferred and not self.pins:
+            self.compact()
+            return
         if self.zeros >= COMPACT_MIN_ZEROS and self.zeros * 4 >= len(self._rows):
             self.compact()
 
-    def compact(self) -> None:
+    def compact(self, force: bool = False) -> None:
         """Drop tombstoned rows, preserving storage order of the survivors.
 
         Physical reorganisation only — the logical content (and therefore the
         version) is unchanged, but slots move, so the epoch is bumped and any
         slice-form log groups are first materialised to explicit pairs.
+
+        While snapshot pins are held the sweep is deferred (recorded in
+        ``tuplestore_stats["deferred_compactions"]``) unless ``force`` is
+        given.  Forcing is safe for the pinned snapshots themselves — the
+        sweep *replaces* the row list, multiplicity buffer and code arrays
+        rather than mutating them, so pinned views keep reading their
+        original arrays — but only the writer-side publish path should do it
+        (it wants dense arrays for the next generation's snapshot).
         """
         if self.zeros == 0:
+            return
+        if self.pins and not force:
+            if not self._compact_deferred:
+                self._compact_deferred = True
+                tuplestore_stats.bump("deferred_compactions")
             return
         self._materialise_slices()
         self.flush_encodings()
@@ -457,7 +589,12 @@ class TupleStore:
         self._encoded_count = len(self._rows)
         self.zeros = 0
         self.epoch += 1
-        tuplestore_stats["compactions"] += 1
+        # The fresh buffers are not referenced by any pinned snapshot (the
+        # pins keep the pre-sweep arrays, which are immutable from here on).
+        self._cow_pending = False
+        self._pin_floor = 0
+        self._compact_deferred = False
+        tuplestore_stats.bump("compactions")
 
     # -- the change log ----------------------------------------------------------------
 

@@ -310,6 +310,32 @@ class LMFAOEngine:
         """The seed heuristic: root at the widest relation (the fact table)."""
         return widest_relation(self.database, self.query.relation_names)
 
+    def rebind_database(self, database: Database) -> None:
+        """Point the engine at another database with the same query schema.
+
+        The serving layer evaluates each read against a pinned snapshot
+        database; per-reader engines are reused across reads by rebinding
+        instead of being rebuilt.  Every cache stays in place and keeps
+        being correct through its existing guards: columnar contexts are
+        keyed by store identity, and cached views are guarded by the
+        subtree's relation versions — a relation whose version is unchanged
+        across generations is bitwise unchanged (every mutation bumps the
+        counter), so a cache hit from an earlier generation is exact.
+
+        The new database must serve the same relation names with the same
+        attribute names; the join tree is schema-derived and is kept as-is.
+        """
+        if database is self.database:
+            return
+        for name in self.query.relation_names:
+            if name not in database:
+                raise ValueError(f"rebind target lacks relation {name!r}")
+            if database.relation(name).schema.names != self.database.relation(name).schema.names:
+                raise ValueError(
+                    f"rebind target changes the schema of relation {name!r}"
+                )
+        self.database = database
+
     # -- evaluation ------------------------------------------------------------------------
 
     def plan(self, batch: AggregateBatch) -> BatchPlan:

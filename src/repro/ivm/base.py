@@ -26,6 +26,7 @@ after it), so it lands on the same state in one traversal.
 from __future__ import annotations
 
 import abc
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -90,7 +91,13 @@ class JoinIndex:
         per_code: List[Dict[Tuple, int]] = [{} for _ in tuples]
         multiplicities = store.multiplicities
         for position, code in enumerate(codes.tolist()):
-            per_code[code][store.rows[position]] = int(multiplicities[position])
+            multiplicity = int(multiplicities[position])
+            if multiplicity == 0:
+                # Tombstones: while a pinned snapshot defers compaction the
+                # store may expose netted-to-zero rows; `_drain` pops rows
+                # that net to zero, so the rebuild must drop them too.
+                continue
+            per_code[code][store.rows[position]] = multiplicity
         self._buckets = {
             key: bucket for key, bucket in zip(tuples, per_code) if bucket
         }
@@ -217,6 +224,12 @@ class CovarianceMaintainer(abc.ABC):
         #: ``delta_pass_ns`` (time spent inside them), so benchmarks can
         #: attribute maintenance time without profiling.
         self.executor_stats: Dict[str, int] = {}
+        # Maintainers are single-writer by contract: updates mutate mirrors,
+        # indexes and payload stores with no internal synchronisation.  The
+        # gate turns a violated contract (two threads applying concurrently)
+        # into an immediate error instead of silent corruption; it is an
+        # RLock so apply_batch's per-tuple fallback can re-enter apply().
+        self._writer_gate = threading.RLock()
         # The maintainer owns an initially-empty copy of the database: the
         # streaming experiment of Figure 4 (right) starts from nothing.
         self.database = schema_database.empty_copy()
@@ -338,9 +351,19 @@ class CovarianceMaintainer(abc.ABC):
         engines holding columnar contexts over the maintained database
         re-encode lazily on their next evaluation.
         """
-        self._validate(update)
-        self._apply_update(update)
-        self.database.relation(update.relation_name).add(update.row, update.multiplicity)
+        if not self._writer_gate.acquire(blocking=False):
+            raise RuntimeError(
+                "concurrent writers: CovarianceMaintainer.apply is single-writer; "
+                "serialize updates through one thread (e.g. QueryServer.apply_batch)"
+            )
+        try:
+            self._validate(update)
+            self._apply_update(update)
+            self.database.relation(update.relation_name).add(
+                update.row, update.multiplicity
+            )
+        finally:
+            self._writer_gate.release()
 
     def apply_batch(self, updates: Iterable[Update]) -> int:
         """Apply a stream of updates, propagating whole per-relation deltas.
@@ -356,7 +379,18 @@ class CovarianceMaintainer(abc.ABC):
         Strategies without a batched path, and single-update batches, fall
         back to the per-tuple :meth:`apply`.
         """
-        updates = list(updates)
+        if not self._writer_gate.acquire(blocking=False):
+            raise RuntimeError(
+                "concurrent writers: CovarianceMaintainer.apply_batch is "
+                "single-writer; serialize updates through one thread "
+                "(e.g. QueryServer.apply_batch)"
+            )
+        try:
+            return self._apply_batch_locked(list(updates))
+        finally:
+            self._writer_gate.release()
+
+    def _apply_batch_locked(self, updates: List[Update]) -> int:
         if len(updates) < 2 or not self.supports_batch_deltas:
             for update in updates:
                 self.apply(update)

@@ -449,6 +449,12 @@ class FIVM(CovarianceMaintainer):
         order-independent, so the parallel schedule is bit-identical to the
         sequential one.
         """
+        # The fused pass mutates payload stores and mirrors with no internal
+        # locking — it must only ever run under the single-writer gate that
+        # apply()/apply_batch() hold (see CovarianceMaintainer).
+        assert self._writer_gate._is_owned(), (
+            "fused multi-delta pass entered without the writer gate"
+        )
         started = time.perf_counter_ns()
         grouped: Dict[str, Tuple[List[Tuple], np.ndarray]] = {
             name: (rows, multiplicities) for name, rows, multiplicities in groups

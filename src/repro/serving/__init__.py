@@ -1,0 +1,26 @@
+"""The concurrent serving layer: pinned snapshots, reader pool, one writer.
+
+See :mod:`repro.serving.snapshots` for the epoch-generation lifecycle,
+:mod:`repro.serving.server` for the reader/writer contract, and
+:mod:`repro.serving.metrics` for the ``serving_stats`` block.
+"""
+
+from repro.serving.metrics import ServingStats, percentile
+from repro.serving.server import QueryServer, ReadResult
+from repro.serving.snapshots import (
+    Snapshot,
+    SnapshotDatabase,
+    SnapshotManager,
+    SnapshotRelation,
+)
+
+__all__ = [
+    "QueryServer",
+    "ReadResult",
+    "ServingStats",
+    "Snapshot",
+    "SnapshotDatabase",
+    "SnapshotManager",
+    "SnapshotRelation",
+    "percentile",
+]

@@ -1,0 +1,206 @@
+"""The many-readers/one-writer query server over epoch-pinned snapshots.
+
+:class:`QueryServer` wires the three serving pieces together:
+
+- a :class:`~repro.serving.snapshots.SnapshotManager` over the maintainer's
+  database, republished after every applied writer batch;
+- a thread pool of readers, each pool thread owning one private
+  :class:`~repro.engine.lmfao.LMFAOEngine` that is rebound to the pinned
+  generation per read (caches persist across generations — they are guarded
+  by relation versions and store identity, so hits are exact);
+- a single serialized ``apply_batch`` writer path feeding the wrapped
+  :class:`~repro.ivm.base.CovarianceMaintainer`.
+
+Reads are wait-free with respect to the writer: a read pins whatever
+generation is current and never blocks on the writer lock; the writer never
+waits for readers (superseded generations are retired by their last reader).
+Every read reports the exact update ``prefix`` its generation contains, which
+is what the differential concurrency suite replays serially for the
+bit-identity check.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Optional
+
+from repro.aggregates.batch import AggregateBatch
+from repro.engine.lmfao import EngineOptions, LMFAOEngine
+from repro.ivm.base import CovarianceMaintainer, Update
+from repro.serving.metrics import ServingStats
+from repro.serving.snapshots import Snapshot, SnapshotManager
+
+__all__ = ["ReadResult", "QueryServer"]
+
+
+@dataclass
+class ReadResult:
+    """One served read, tagged with the snapshot it was answered from."""
+
+    kind: str                   # "query" | "statistics"
+    generation: int             # snapshot generation id
+    prefix: int                 # writer batches contained in the snapshot
+    value: object               # aggregate values dict, or a CovariancePayload
+    latency_s: float
+    snapshot_age_s: float       # age of the pinned generation at acquisition
+
+
+class QueryServer:
+    """Serve aggregate reads against pinned snapshots while batches land.
+
+    ``readers`` bounds the reader pool; each pool thread lazily builds one
+    engine against its first pinned generation and rebinds it afterwards.
+    Reader engines force the maintainer's join-tree root (identical plans
+    for identical batches, the precondition for bitwise-stable answers) and
+    disable the writer-oriented delta paths — a pinned snapshot never
+    reports changes, so delta refresh and root patching could only add
+    overhead, never hits.
+    """
+
+    def __init__(
+        self,
+        maintainer: CovarianceMaintainer,
+        options: Optional[EngineOptions] = None,
+        readers: int = 4,
+    ) -> None:
+        self.maintainer = maintainer
+        self.manager = SnapshotManager(maintainer.database)
+        self.stats = ServingStats()
+        base = options or EngineOptions()
+        self._reader_options = replace(
+            base,
+            root_relation=maintainer.join_tree.root.relation_name,
+            root_strategy="cost",
+            cache_views=True,
+            delta_refresh=False,
+            root_patching=False,
+            parallel=False,
+            parallel_deltas=False,
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, readers), thread_name_prefix="serving-reader"
+        )
+        self._local = threading.local()
+        self._writer_lock = threading.Lock()
+        self._prefix = 0
+        self._closed = False
+        # Publish the initial generation so reads never race the first write.
+        self.manager.publish(self.maintainer.statistics(), prefix=0)
+
+    # -- the writer path ---------------------------------------------------------------
+
+    def apply_batch(self, updates: Iterable[Update]) -> int:
+        """Apply one update batch and publish the resulting generation.
+
+        The single writer path: concurrent callers serialize on the writer
+        lock (and the maintainer's own writer gate would reject any path
+        that bypassed it).  Readers keep serving the previous generation
+        until the publish completes.
+        """
+        if self._closed:
+            raise RuntimeError("QueryServer is closed")
+        updates = list(updates)
+        start = time.perf_counter()
+        with self._writer_lock:
+            applied = self.maintainer.apply_batch(updates)
+            self._prefix += 1
+            self.manager.publish(self.maintainer.statistics(), prefix=self._prefix)
+        self.stats.record_write(time.perf_counter() - start, len(updates))
+        return applied
+
+    @property
+    def prefix(self) -> int:
+        """Writer batches applied and published so far."""
+        with self._writer_lock:
+            return self._prefix
+
+    # -- the reader paths --------------------------------------------------------------
+
+    def submit_query(self, batch: AggregateBatch) -> "Future[ReadResult]":
+        if self._closed:
+            raise RuntimeError("QueryServer is closed")
+        return self._pool.submit(self._read_query, batch)
+
+    def query(self, batch: AggregateBatch) -> ReadResult:
+        """Evaluate an aggregate batch against the current pinned snapshot."""
+        return self.submit_query(batch).result()
+
+    def submit_statistics(self) -> "Future[ReadResult]":
+        if self._closed:
+            raise RuntimeError("QueryServer is closed")
+        return self._pool.submit(self._read_statistics)
+
+    def statistics(self) -> ReadResult:
+        """The maintained covariance payload at the current pinned snapshot."""
+        return self.submit_statistics().result()
+
+    def _read_query(self, batch: AggregateBatch) -> ReadResult:
+        start = time.perf_counter()
+        snapshot = self.manager.acquire()
+        prefix = snapshot.prefix
+        try:
+            engine = self._engine_for(snapshot)
+            result = engine.evaluate(batch)
+            value: Dict[str, object] = dict(result.values)
+        finally:
+            self.manager.release(snapshot)
+        latency = time.perf_counter() - start
+        age = start - snapshot.created_at
+        self.stats.record_read(snapshot.generation, latency, age)
+        return ReadResult("query", snapshot.generation, prefix, value, latency, age)
+
+    def _read_statistics(self) -> ReadResult:
+        start = time.perf_counter()
+        snapshot = self.manager.acquire()
+        prefix = snapshot.prefix
+        try:
+            payload = snapshot.statistics
+            value = payload.copy() if payload is not None else None
+        finally:
+            self.manager.release(snapshot)
+        latency = time.perf_counter() - start
+        age = start - snapshot.created_at
+        self.stats.record_read(snapshot.generation, latency, age)
+        return ReadResult("statistics", snapshot.generation, prefix, value, latency, age)
+
+    def _engine_for(self, snapshot: Snapshot) -> LMFAOEngine:
+        engine: Optional[LMFAOEngine] = getattr(self._local, "engine", None)
+        if engine is None:
+            engine = LMFAOEngine(
+                snapshot.database, self.maintainer.query, options=self._reader_options
+            )
+            self._local.engine = engine
+        else:
+            engine.rebind_database(snapshot.database)
+        return engine
+
+    # -- introspection / lifecycle -----------------------------------------------------
+
+    def reader_options(self) -> EngineOptions:
+        return self._reader_options
+
+    def serving_stats(self) -> Dict[str, object]:
+        """The ``serving_stats`` metrics block (see :mod:`repro.serving.metrics`)."""
+        block = self.stats.snapshot(active_generations=self.manager.active_generations)
+        current = self.manager.current()
+        if current is not None:
+            block["current_generation"] = current.generation
+            block["current_prefix"] = current.prefix
+            block["current_snapshot_age_s"] = time.perf_counter() - current.created_at
+        return block
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=True)
+        self.manager.close()
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

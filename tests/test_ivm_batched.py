@@ -21,6 +21,7 @@ from repro.datasets import load_dataset, retailer_database, retailer_query
 from repro.engine import EngineOptions, LMFAOEngine
 from repro.ivm import FIVM, FirstOrderIVM, HigherOrderIVM, Update
 from repro.rings.covariance import CovarianceBlock, CovarianceRing
+from streams import random_update_stream
 
 FEATURES = ["inventoryunits", "prize", "maxtemp"]
 STRATEGIES = [FirstOrderIVM, HigherOrderIVM, FIVM]
@@ -40,37 +41,11 @@ def _payloads_match(left, right):
     )
 
 
-def _random_stream(database, seed, length, delete_fraction=0.3, cancel_fraction=0.2):
-    """A multi-relation stream of inserts and deletes with cancelling pairs."""
-    rng = random.Random(seed)
-    rows_per_relation = {
-        relation.name: list(relation) for relation in database
-    }
-    updates = []
-    inserted = {name: [] for name in rows_per_relation}
-    for _ in range(length):
-        name = rng.choice(list(rows_per_relation))
-        if inserted[name] and rng.random() < delete_fraction:
-            row = rng.choice(inserted[name])
-            updates.append(Update(name, row, -1))
-            inserted[name].remove(row)
-        else:
-            row = rng.choice(rows_per_relation[name])
-            updates.append(Update(name, row, 1))
-            inserted[name].append(row)
-            if rng.random() < cancel_fraction:
-                # An insert/delete pair of the same row inside the stream:
-                # inside one batch it nets out to nothing.
-                updates.append(Update(name, row, -1))
-                inserted[name].remove(row)
-    return updates
-
-
 @pytest.mark.parametrize("strategy", STRATEGIES)
 @pytest.mark.parametrize("batch_size", [1, 7, 1000])
 def test_batched_stream_matches_recomputation(ivm_source, strategy, batch_size):
     database, query = ivm_source
-    stream = _random_stream(database, seed=5, length=300)
+    stream = random_update_stream(database, seed=5, length=300)
     maintainer = strategy(database, query, FEATURES)
     for start in range(0, len(stream), batch_size):
         maintainer.apply_batch(stream[start : start + batch_size])
@@ -81,7 +56,7 @@ def test_batched_stream_matches_recomputation(ivm_source, strategy, batch_size):
 def test_batched_equals_per_tuple(ivm_source, strategy):
     """The batched path lands on exactly the per-tuple result."""
     database, query = ivm_source
-    stream = _random_stream(database, seed=9, length=250)
+    stream = random_update_stream(database, seed=9, length=250)
     per_tuple = strategy(database, query, FEATURES)
     for update in stream:
         per_tuple.apply(update)
@@ -95,7 +70,7 @@ def test_batched_equals_per_tuple(ivm_source, strategy):
 def test_interleaved_batched_and_per_tuple(ivm_source, strategy):
     """Switching between apply() and apply_batch() maintains one shared state."""
     database, query = ivm_source
-    stream = _random_stream(database, seed=13, length=240)
+    stream = random_update_stream(database, seed=13, length=240)
     maintainer = strategy(database, query, FEATURES)
     cursor = 0
     rng = random.Random(3)
@@ -113,7 +88,7 @@ def test_interleaved_batched_and_per_tuple(ivm_source, strategy):
 def test_cancelling_batch_is_a_noop(ivm_source):
     database, query = ivm_source
     maintainer = FIVM(database, query, FEATURES)
-    warmup = _random_stream(database, seed=2, length=80, delete_fraction=0.0,
+    warmup = random_update_stream(database, seed=2, length=80, delete_fraction=0.0,
                             cancel_fraction=0.0)
     maintainer.apply_batch(warmup)
     before = maintainer.statistics()

@@ -29,6 +29,7 @@ from repro.engine.deltas import merge_keyed_deltas, subtree_schedule
 from repro.engine.executor import STAT_ROOT_PATCHED, SubtreeScheduler
 from repro.ivm import FIVM, Update
 from repro.rings.covariance import CovarianceBlock, CovarianceRing
+from streams import random_update_stream
 
 FEATURES = ["inventoryunits", "prize", "maxtemp"]
 
@@ -55,34 +56,13 @@ def _payloads_identical(left, right):
     )
 
 
-def _random_stream(database, seed, length, delete_fraction=0.3, cancel_fraction=0.2):
-    rng = random.Random(seed)
-    rows_per_relation = {relation.name: list(relation) for relation in database}
-    updates = []
-    inserted = {name: [] for name in rows_per_relation}
-    for _ in range(length):
-        name = rng.choice(list(rows_per_relation))
-        if inserted[name] and rng.random() < delete_fraction:
-            row = rng.choice(inserted[name])
-            updates.append(Update(name, row, -1))
-            inserted[name].remove(row)
-        else:
-            row = rng.choice(rows_per_relation[name])
-            updates.append(Update(name, row, 1))
-            inserted[name].append(row)
-            if rng.random() < cancel_fraction:
-                updates.append(Update(name, row, -1))
-                inserted[name].remove(row)
-    return updates
-
-
 # -- fused vs. per-relation propagation -------------------------------------------------
 
 
 @pytest.mark.parametrize("batch_size", [5, 23, 400])
 def test_fused_matches_per_relation(ivm_source, batch_size):
     database, query = ivm_source
-    stream = _random_stream(database, seed=7, length=400)
+    stream = random_update_stream(database, seed=7, length=400)
     fused = FIVM(database, query, FEATURES)
     unfused = FIVM(database, query, FEATURES, fused_deltas=False)
     assert fused.supports_fused_deltas and not unfused.supports_fused_deltas
@@ -99,7 +79,7 @@ def test_fused_matches_per_relation(ivm_source, batch_size):
 
 def test_fused_matches_recomputation_under_cancellation(ivm_source):
     database, query = ivm_source
-    stream = _random_stream(database, seed=19, length=300, cancel_fraction=0.5)
+    stream = random_update_stream(database, seed=19, length=300, cancel_fraction=0.5)
     maintainer = FIVM(database, query, FEATURES)
     for start in range(0, len(stream), 50):
         maintainer.apply_batch(stream[start : start + 50])
@@ -110,7 +90,7 @@ def test_fused_matches_recomputation_under_cancellation(ivm_source):
 
 def test_fused_interleaves_with_per_tuple(ivm_source):
     database, query = ivm_source
-    stream = _random_stream(database, seed=3, length=240)
+    stream = random_update_stream(database, seed=3, length=240)
     maintainer = FIVM(database, query, FEATURES)
     cursor = 0
     rng = random.Random(8)
@@ -145,7 +125,7 @@ def force_pool(monkeypatch):
 @pytest.mark.parametrize("batch_size", [7, 150])
 def test_parallel_deltas_bit_identical(ivm_source, force_pool, batch_size):
     database, query = ivm_source
-    stream = _random_stream(database, seed=11, length=350)
+    stream = random_update_stream(database, seed=11, length=350)
     serial = FIVM(database, query, FEATURES)
     parallel = FIVM(database, query, FEATURES, parallel_deltas=True)
     for start in range(0, len(stream), batch_size):
@@ -321,7 +301,7 @@ def test_largest_root_strategy_roots_at_fact_table(ivm_source):
     largest = max(query.relation_names, key=lambda name: len(database.relation(name)))
     assert maintainer.join_tree.root.relation_name == largest
     forced = FIVM(database, query, FEATURES, root_strategy="cost")
-    stream = _random_stream(database, seed=21, length=150)
+    stream = random_update_stream(database, seed=21, length=150)
     maintainer.apply_batch(stream)
     forced.apply_batch(stream)
     assert _payloads_match(maintainer.statistics(), forced.statistics())

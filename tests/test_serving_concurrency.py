@@ -1,0 +1,458 @@
+"""The concurrent serving layer, proven differentially (PR 7).
+
+The headline suite: randomized N-reader/1-writer schedules where every
+concurrent read must be **bit-identical** to a serial replay of the same
+update prefix — not close, identical, because a pinned snapshot is by
+construction an exact past state, and any tearing (a reader observing a
+half-applied batch, a compaction moving rows under a pinned view, a netting
+write mutating a pinned multiplicity) shows up as a bitwise mismatch long
+before it would trip a tolerance.
+
+Alongside the differential schedules: hypothesis property tests that
+netting/compaction can never invalidate a pinned snapshot, the epoch
+deferral contract at the store level, `JoinIndex.mark_stale()` vs a pinned
+older snapshot, the thread-safe stats counters, and the maintainer's
+single-writer gate.
+
+No ``pytest-timeout`` locally — every helper thread is joined with an
+explicit timeout and asserted dead, so a deadlocked schedule fails instead
+of hanging.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates import covariance_batch
+from repro.data import Relation, Schema
+from repro.data.tuplestore import (
+    StatsCounters,
+    reset_tuplestore_stats,
+    tuplestore_stats,
+)
+from repro.datasets import retailer_database, retailer_query
+from repro.engine import LMFAOEngine
+from repro.ivm import FIVM, HigherOrderIVM, Update
+from repro.ivm.base import JoinIndex
+from repro.serving import QueryServer, SnapshotManager
+from streams import random_row_events, random_update_stream
+
+FEATURES = ["inventoryunits", "prize", "maxtemp"]
+JOIN_TIMEOUT_S = 120.0
+SCHEMA = Schema.from_names(["k", "v"], categorical_names=["k"])
+
+
+@pytest.fixture(scope="module")
+def serving_source():
+    database = retailer_database(inventory_rows=120, stores=4, items=8, dates=6, seed=21)
+    return database, retailer_query()
+
+
+def _join_or_fail(threads):
+    for thread in threads:
+        thread.join(timeout=JOIN_TIMEOUT_S)
+    stuck = [thread.name for thread in threads if thread.is_alive()]
+    assert not stuck, f"deadlocked schedule: threads still alive: {stuck}"
+
+
+def _payloads_identical(left, right):
+    return (
+        left.count == right.count
+        and np.array_equal(left.sums, right.sums)
+        and np.array_equal(left.moments, right.moments)
+    )
+
+
+def _serial_expectations(strategy, source, query, batches, reader_options):
+    """Replay the batch stream serially; record (statistics, values) per prefix.
+
+    One maintainer and one engine advance batch by batch — the engine keeps
+    its view cache across prefixes exactly like the server's per-thread
+    reader engines do across generations, so the arithmetic on both sides
+    is the same down to the last bit.
+    """
+    replay = strategy(source, query, FEATURES)
+    engine = LMFAOEngine(replay.database, query, options=reader_options)
+    batch = covariance_batch(FEATURES)
+    expected = {0: (replay.statistics(), dict(engine.evaluate(batch).values))}
+    for prefix, updates in enumerate(batches, start=1):
+        replay.apply_batch(updates)
+        expected[prefix] = (replay.statistics(), dict(engine.evaluate(batch).values))
+    return expected
+
+
+def _run_schedule(strategy, source, query, seed, readers=3, batch_size=10, length=140):
+    """One randomized concurrent schedule; returns (reads, expected, server stats)."""
+    stream = random_update_stream(source, seed=seed, length=length)
+    batches = [stream[start : start + batch_size] for start in range(0, len(stream), batch_size)]
+    maintainer = strategy(source, query, FEATURES)
+    server = QueryServer(maintainer, readers=readers)
+    aggregate_batch = covariance_batch(FEATURES)
+    results = []
+    errors = []
+    done = threading.Event()
+    lock = threading.Lock()
+
+    def reader(index):
+        try:
+            turn = 0
+            while not done.is_set():
+                if (turn + index) % 2 == 0:
+                    read = server.query(aggregate_batch)
+                else:
+                    read = server.statistics()
+                with lock:
+                    results.append(read)
+                turn += 1
+            # One final read after the writer finished: must see the full
+            # prefix (the last generation) and still compare bit-identical.
+            read = server.statistics()
+            with lock:
+                results.append(read)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+            done.set()
+
+    def writer():
+        try:
+            for updates in batches:
+                server.apply_batch(updates)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+        finally:
+            done.set()
+
+    threads = [
+        threading.Thread(target=reader, args=(index,), name=f"reader-{index}")
+        for index in range(readers)
+    ]
+    threads.append(threading.Thread(target=writer, name="writer"))
+    for thread in threads:
+        thread.start()
+    _join_or_fail(threads)
+    assert not errors, f"schedule raised: {errors!r}"
+    stats = server.serving_stats()
+    server.close()
+    expected = _serial_expectations(
+        strategy, source, query, batches, server.reader_options()
+    )
+    return results, expected, stats, len(batches)
+
+
+def _check_reads(results, expected):
+    for read in results:
+        want_statistics, want_values = expected[read.prefix]
+        if read.kind == "statistics":
+            assert _payloads_identical(read.value, want_statistics), (
+                f"statistics read at prefix {read.prefix} is not bit-identical "
+                f"to the serial replay"
+            )
+        else:
+            assert read.value == want_values, (
+                f"query read at prefix {read.prefix} is not bit-identical "
+                f"to the serial replay"
+            )
+
+
+# -- the differential concurrency harness ----------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [101, 202, 303])
+def test_concurrent_reads_bit_identical_to_serial_replay(serving_source, seed):
+    source, query = serving_source
+    results, expected, stats, batches = _run_schedule(FIVM, source, query, seed)
+    assert results, "schedule produced no reads"
+    # Every read must land on a published prefix and match its replay exactly.
+    assert all(0 <= read.prefix <= batches for read in results)
+    _check_reads(results, expected)
+    # The final post-writer reads must have observed the full prefix.
+    assert max(read.prefix for read in results) == batches
+    assert stats["reads"] == len(results)
+    assert stats["writes"] == batches
+
+
+def test_concurrent_reads_bit_identical_higher_order(serving_source):
+    source, query = serving_source
+    results, expected, _stats, batches = _run_schedule(
+        HigherOrderIVM, source, query, seed=404, length=100
+    )
+    assert max(read.prefix for read in results) == batches
+    _check_reads(results, expected)
+
+
+def test_snapshot_held_across_writes_stays_frozen(serving_source):
+    """A generation pinned before a burst of writes answers from the past."""
+    source, query = serving_source
+    stream = random_update_stream(source, seed=55, length=120)
+    maintainer = FIVM(source, query, FEATURES)
+    server = QueryServer(maintainer, readers=2)
+    server.apply_batch(stream[:40])
+    held = server.manager.acquire()
+    frozen_statistics = held.statistics.copy()
+    frozen_items = {
+        relation.name: dict(relation.items()) for relation in held.database
+    }
+    for start in range(40, len(stream), 10):
+        server.apply_batch(stream[start : start + 10])
+    # The held generation is bitwise frozen: same payload, same rows.
+    assert _payloads_identical(held.statistics, frozen_statistics)
+    for relation in held.database:
+        assert dict(relation.items()) == frozen_items[relation.name]
+    # Current reads meanwhile moved on to the full prefix.
+    assert server.statistics().prefix == server.prefix
+    server.manager.release(held)
+    server.close()
+    # All pins returned: the maintained stores can compact freely again.
+    for relation in maintainer.database:
+        assert relation._store.pins == 0
+
+
+def test_manager_refcounts_and_retires_generations(serving_source):
+    source, query = serving_source
+    maintainer = FIVM(source, query, FEATURES)
+    manager = SnapshotManager(maintainer.database)
+    manager.publish(maintainer.statistics(), prefix=0)
+    first = manager.acquire()
+    maintainer.apply_batch(random_update_stream(source, seed=5, length=30))
+    manager.publish(maintainer.statistics(), prefix=1)
+    second = manager.acquire()
+    assert second.generation != first.generation
+    assert manager.active_generations == 2
+    manager.release(first)           # superseded + last reader -> retired
+    assert manager.active_generations == 1
+    manager.release(second)          # current: stays pinned via the manager
+    assert manager.active_generations == 1
+    with pytest.raises(RuntimeError):
+        manager.release(second)
+    manager.close()
+    for relation in maintainer.database:
+        assert relation._store.pins == 0
+
+
+# -- pinned snapshots vs netting and compaction ----------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=11),
+            st.sampled_from([1, 1, -1, 2, -2]),
+        ),
+        max_size=80,
+    ),
+)
+def test_pinned_snapshot_survives_netting_and_compaction(seed, later_events):
+    """Property: no post-pin mutation can change a pinned snapshot's arrays."""
+    relation = Relation("R", SCHEMA)
+    for row, multiplicity in random_row_events(seed % 1000, length=200):
+        relation.add(row, multiplicity)
+    relation.compact_storage()
+    snapshot = relation.column_store()
+    relation.pin()
+    try:
+        universe = [(f"k{index % 6}", index % 4) for index in range(12)]
+        frozen_multiplicities = np.asarray(snapshot.multiplicities).copy()
+        frozen_rows = list(snapshot.rows[: snapshot.row_count])
+        store = relation._store
+        epoch_at_pin = store.epoch
+        for index, multiplicity in later_events:
+            relation.add(universe[index], multiplicity)
+        store.compact()          # must defer, not sweep, while pinned
+        store.flush_encodings()
+        assert store.epoch == epoch_at_pin, "compaction ran under a pinned snapshot"
+        assert np.array_equal(
+            np.asarray(snapshot.multiplicities), frozen_multiplicities
+        ), "netting tore a pinned multiplicity in place"
+        assert list(snapshot.rows[: snapshot.row_count]) == frozen_rows
+    finally:
+        relation.unpin()
+
+
+def test_compaction_defers_while_pinned_and_resumes_after(serving_source):
+    reset_tuplestore_stats()
+    relation = Relation("R", SCHEMA)
+    for row, multiplicity in random_row_events(3, length=300):
+        relation.add(row, multiplicity)
+    relation.compact_storage()
+    store = relation._store
+    relation.pin()
+    epoch_at_pin = store.epoch
+    # Net some live rows down to zero so there is something to compact.
+    for row, multiplicity in list(relation.items())[:5]:
+        relation.add(row, -multiplicity)
+    assert store.zeros > 0
+    store.compact()
+    assert store.epoch == epoch_at_pin
+    assert store._compact_deferred
+    assert tuplestore_stats["deferred_compactions"] >= 1
+    relation.unpin()
+    # The deferred sweep runs on the writer's next mutation, not on unpin.
+    assert store.epoch == epoch_at_pin
+    relation.add(("k0", 0), 1)
+    assert store.epoch > epoch_at_pin
+    assert store.zeros == 0
+    assert not store._compact_deferred
+
+
+def test_join_index_mark_stale_vs_pinned_snapshot(serving_source):
+    """Satellite: rebuild-vs-snapshot interleaving after ``mark_stale()``.
+
+    The pinned snapshot keeps answering from the old state while the index,
+    rebuilt lazily from a store whose compaction is deferred (so it still
+    carries tombstones), must reflect the new state with no zero-multiplicity
+    entries.
+    """
+    relation = Relation("R", SCHEMA)
+    for row, multiplicity in random_row_events(9, length=250):
+        relation.add(row, multiplicity)
+    relation.compact_storage()
+    index = JoinIndex(relation, ["k"])
+    index.lookup(("k1",))  # force the initial build
+    snapshot = relation.column_store()
+    relation.pin()
+    try:
+        frozen = {
+            row: int(multiplicity)
+            for row, multiplicity in zip(
+                snapshot.rows[: snapshot.row_count],
+                np.asarray(snapshot.multiplicities).tolist(),
+            )
+            if multiplicity != 0.0
+        }
+        # Writer: delete every k1 row (tombstones — compaction is deferred),
+        # then insert a fresh one, and invalidate the index wholesale.
+        for row, multiplicity in list(relation.items()):
+            if row[0] == "k1":
+                relation.add(row, -multiplicity)
+        relation.add(("k1", 99), 3)
+        index.mark_stale()
+        assert relation._store.zeros > 0, "expected deferred tombstones"
+        rebuilt = index.lookup(("k1",))
+        # The rebuilt buckets reflect the relation now: only the fresh row,
+        # and never a netted-to-zero tombstone.
+        assert rebuilt == {("k1", 99): 3}
+        assert all(
+            multiplicity != 0
+            for bucket in index.buckets.values()
+            for multiplicity in bucket.values()
+        )
+        # The pinned snapshot still answers from the old state, bit for bit.
+        still = {
+            row: int(multiplicity)
+            for row, multiplicity in zip(
+                snapshot.rows[: snapshot.row_count],
+                np.asarray(snapshot.multiplicities).tolist(),
+            )
+            if multiplicity != 0.0
+        }
+        assert still == frozen
+    finally:
+        relation.unpin()
+
+
+# -- stats counters and the single-writer gate -----------------------------------------
+
+
+def test_stats_counters_are_thread_safe():
+    counters = StatsCounters({"hits": 0})
+    threads_n, bumps = 8, 5000
+
+    def hammer():
+        for _ in range(bumps):
+            counters.bump("hits")
+            counters.bump("misses", 2)
+
+    threads = [threading.Thread(target=hammer, name=f"bump-{i}") for i in range(threads_n)]
+    for thread in threads:
+        thread.start()
+    _join_or_fail(threads)
+    assert counters["hits"] == threads_n * bumps
+    assert counters["misses"] == 2 * threads_n * bumps
+
+
+def test_tuplestore_stats_is_a_stats_counters():
+    assert isinstance(tuplestore_stats, StatsCounters)
+
+
+def test_concurrent_writers_are_rejected(serving_source):
+    source, query = serving_source
+
+    entered = threading.Event()
+    release = threading.Event()
+
+    class _SlowFIVM(FIVM):
+        def _apply_multi_delta(self, groups):
+            entered.set()
+            assert release.wait(timeout=JOIN_TIMEOUT_S)
+            super()._apply_multi_delta(groups)
+
+    maintainer = _SlowFIVM(source, query, FEATURES)
+    stream = random_update_stream(source, seed=77, length=20)
+    failure = []
+
+    def writer():
+        try:
+            maintainer.apply_batch(stream)
+        except Exception as exc:  # pragma: no cover - failure path
+            failure.append(exc)
+
+    thread = threading.Thread(target=writer, name="writer")
+    thread.start()
+    try:
+        assert entered.wait(timeout=JOIN_TIMEOUT_S)
+        with pytest.raises(RuntimeError, match="single-writer"):
+            maintainer.apply(stream[0])
+        with pytest.raises(RuntimeError, match="single-writer"):
+            maintainer.apply_batch(stream[:5])
+    finally:
+        release.set()
+        _join_or_fail([thread])
+    assert not failure
+    # The gate releases cleanly: the same (single) writer can continue.
+    release.set()
+    entered.clear()
+    maintainer.apply(stream[0])
+
+
+# -- serving metrics -------------------------------------------------------------------
+
+
+def test_serving_stats_block_shape(serving_source):
+    source, query = serving_source
+    maintainer = FIVM(source, query, FEATURES)
+    with QueryServer(maintainer, readers=2) as server:
+        server.apply_batch(random_update_stream(source, seed=31, length=30))
+        batch = covariance_batch(FEATURES)
+        for _ in range(6):
+            server.query(batch)
+            server.statistics()
+        block = server.serving_stats()
+    for key in (
+        "reads", "writes", "read_latency_p50_s", "read_latency_p99_s",
+        "snapshot_age_p50_s", "snapshot_age_max_s", "writer_batch_lag_p50_s",
+        "writer_batch_lag_p99_s", "reads_per_epoch_mean", "reads_per_epoch_max",
+        "active_generations", "current_generation", "current_prefix",
+    ):
+        assert key in block, f"serving_stats missing {key!r}"
+    assert block["reads"] == 12
+    assert block["writes"] == 1
+    assert block["read_latency_p99_s"] >= block["read_latency_p50_s"] >= 0.0
+    assert block["reads_per_epoch_max"] >= block["reads_per_epoch_mean"] > 0
+
+
+def test_rebind_database_rejects_schema_mismatch(serving_source):
+    source, query = serving_source
+    maintainer = FIVM(source, query, FEATURES)
+    engine = LMFAOEngine(maintainer.database, query)
+    from repro.data import Database
+
+    with pytest.raises(ValueError, match="lacks relation"):
+        engine.rebind_database(Database(name="empty"))

@@ -28,6 +28,7 @@ from repro.data.tuplestore import (
     reset_tuplestore_stats,
     tuplestore_stats,
 )
+from streams import random_event_batches, random_row_events
 
 SCHEMA = Schema.from_names(["k", "v"], categorical_names=["k"])
 
@@ -55,13 +56,9 @@ def _assert_matches_model(relation, model):
 
 @pytest.mark.parametrize("seed", [1, 7, 23])
 def test_randomized_cancel_heavy_stream_matches_dict_model(seed):
-    rng = random.Random(seed)
     relation = Relation("R", SCHEMA)
     model: dict = {}
-    rows = [(f"k{index % 6}", index % 4) for index in range(12)]
-    for _step in range(600):
-        row = rng.choice(rows)
-        multiplicity = rng.choice([1, 1, 1, -1, -1, 2, -2])
+    for row, multiplicity in random_row_events(seed, length=600):
         _reference_apply(model, row, multiplicity)
         relation.add(row, multiplicity)
     _assert_matches_model(relation, model)
@@ -69,14 +66,9 @@ def test_randomized_cancel_heavy_stream_matches_dict_model(seed):
 
 @pytest.mark.parametrize("seed", [3, 11])
 def test_randomized_batches_match_dict_model(seed):
-    rng = random.Random(seed)
     relation = Relation("R", SCHEMA)
     model: dict = {}
-    universe = [(f"k{index % 5}", index % 7) for index in range(20)]
-    for _batch in range(40):
-        size = rng.randint(1, 25)
-        rows = [rng.choice(universe) for _ in range(size)]
-        multiplicities = [rng.choice([1, 1, -1, 2]) for _ in range(size)]
+    for rows, multiplicities in random_event_batches(seed, batches=40):
         for row, multiplicity in zip(rows, multiplicities):
             _reference_apply(model, row, multiplicity)
         relation.add_batch(rows, multiplicities)
