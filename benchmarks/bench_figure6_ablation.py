@@ -26,6 +26,25 @@ CONFIGURATIONS = [
     ("+parallelisation", EngineOptions(specialize=True, columnar=True, share=True, parallel=True)),
 ]
 
+#: Since PR 8 the interpreted (``specialize=False``) and tuple-specialized
+#: (``columnar=False``) paths are *correctness oracles*, not production
+#: engines: every result still has to match them bit-for-bit on small inputs
+#: (see ``tests/test_executor_equivalence.py``), but timing them on large
+#: data only measures Python interpreter overhead the columnar path exists
+#: to avoid.  Sweeps skip the oracle configurations for databases above this
+#: many total base rows — the bench scales stay under it, so the Figure-6
+#: staircase is unchanged where it is asserted on.
+ORACLE_ROW_CAP = 5000
+
+ORACLE_CONFIGURATIONS = ("baseline", "+specialisation")
+
+
+def oracle_capped(name: str, database) -> bool:
+    """True when an oracle configuration should be skipped for ``database``."""
+    if name not in ORACLE_CONFIGURATIONS:
+        return False
+    return sum(len(relation) for relation in database) > ORACLE_ROW_CAP
+
 
 def _run_configuration(database, query, batch, options, rounds=2):
     # Best-of-n: single-round timings on a busy machine flake the staircase
@@ -48,13 +67,17 @@ def test_figure6_optimisation_ablation(benchmark, bench_datasets, dataset_name):
         return {
             name: _run_configuration(database, query, batch, options)
             for name, options in CONFIGURATIONS
+            if not oracle_capped(name, database)
         }
 
     timings = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    # The bench scales sit under ORACLE_ROW_CAP, so the full staircase ran.
     baseline = timings["baseline"]
 
     print(f"\n=== Figure 6 ({dataset_name}): covariance batch, {len(batch)} aggregates ===")
     for name, _options in CONFIGURATIONS:
+        if name not in timings:
+            continue
         speedup = baseline / max(timings[name], 1e-9)
         print(f"  {name:18s} {timings[name]:8.3f}s   speedup {speedup:5.1f}x")
 

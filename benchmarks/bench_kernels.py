@@ -1,0 +1,164 @@
+"""Per-kernel microbenchmark of the :mod:`repro.kernels` backends (PR 8).
+
+Times every kernel in the registry on workloads shaped like the hot call
+sites (bench-scale retailer: d=10 features, k in the hundreds for stacked
+ops, per-tuple scalar scratch ops at d=10) and reports ns/op per backend.
+The numba column only appears when numba is importable in the running
+interpreter; its first call per kernel is excluded (JIT compilation), so
+the figures describe the steady state the maintainer loop actually runs in.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py [--rounds 5]
+
+or embedded by ``run_all.py --pr 8`` as the ``kernel_microbench`` figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro import kernels
+from repro.kernels import numba_backend, numpy_backend
+
+#: The stacked-op row count and feature dimension (bench-scale shapes).
+STACK_ROWS = 512
+DIMENSION = 10
+SEGMENTS = 64
+#: Sparse lifts and per-tuple scratch ops touch a handful of positions.
+SPARSE_POSITIONS = (1, 4, 7)
+
+
+def _workloads(seed: int = 11) -> Dict[str, Tuple[tuple, bool]]:
+    """Per kernel: an argument tuple and whether the kernel mutates it.
+
+    Mutating kernels (the scratch ops, ``net_deltas``) get fresh copies per
+    timed call so every iteration sees the same state.
+    """
+    rng = np.random.default_rng(seed)
+    k, d = STACK_ROWS, DIMENSION
+    counts = rng.integers(1, 5, size=k).astype(np.float64)
+    sums = rng.standard_normal((k, d))
+    moments = rng.standard_normal((k, d, d))
+    counts2 = rng.integers(1, 5, size=k).astype(np.float64)
+    sums2 = rng.standard_normal((k, d))
+    moments2 = rng.standard_normal((k, d, d))
+    codes = rng.integers(0, SEGMENTS, size=k)
+    features = np.zeros((k, d))
+    for position in SPARSE_POSITIONS:
+        features[:, position] = rng.standard_normal(k)
+    weights = rng.integers(1, 4, size=k).astype(np.float64)
+    column = rng.standard_normal(k)
+    scratch_sums = rng.standard_normal(d)
+    scratch_moments = rng.standard_normal((d, d))
+    pairs = [(position, 1.5 + position) for position in SPARSE_POSITIONS]
+    mults = rng.integers(-2, 3, size=4096).astype(np.float64)
+    slots = rng.integers(0, 4096, size=256)
+    deltas = rng.integers(-2, 3, size=256).astype(np.float64)
+    return {
+        "segment_sum": ((counts, sums, moments, codes, SEGMENTS), False),
+        "lift_sparse": ((features, weights, list(SPARSE_POSITIONS)), False),
+        "lift_sparse_unit": ((features, list(SPARSE_POSITIONS)), False),
+        "multiply_elementwise": (
+            (counts, sums, moments, counts2, sums2, moments2), False
+        ),
+        "multiply_point": (
+            (counts, sums, moments, counts2, column, np.abs(column), 3), False
+        ),
+        "multiply_lifted": (
+            (counts, sums, moments, features, weights, list(SPARSE_POSITIONS)),
+            False,
+        ),
+        "scratch_reset_lift": ((scratch_sums, scratch_moments, 2.0, pairs), True),
+        "scratch_multiply_point": (
+            (3.0, scratch_sums, scratch_moments, 2.0, 1.25, 0.5, 3), True
+        ),
+        "scratch_multiply_dense": (
+            (3.0, scratch_sums, scratch_moments, 2.0, scratch_sums * 0.5,
+             scratch_moments * 0.5),
+            True,
+        ),
+        "net_deltas": ((mults, slots, deltas), True),
+        "compact_keep": ((mults,), True),
+    }
+
+
+def _copy_args(args: tuple) -> tuple:
+    return tuple(
+        value.copy() if isinstance(value, np.ndarray) else value for value in args
+    )
+
+
+def _time_kernel(
+    function: Callable, args: tuple, mutates: bool, rounds: int, calls: int
+) -> float:
+    """Best-of-``rounds`` ns per call over ``calls`` calls."""
+    best = float("inf")
+    for _ in range(rounds):
+        batches: List[tuple] = [
+            _copy_args(args) if mutates else args for _ in range(calls)
+        ]
+        started = time.perf_counter_ns()
+        for batch in batches:
+            function(*batch)
+        elapsed = time.perf_counter_ns() - started
+        best = min(best, elapsed / calls)
+    return best
+
+
+def collect_kernel_timings(rounds: int = 5, calls: int = 50) -> Dict[str, object]:
+    """The ``kernel_microbench`` figure: ns/op per kernel per backend."""
+    workloads = _workloads()
+    backends = {"numpy": dict(numpy_backend.KERNELS)}
+    numba_impls = numba_backend.load()
+    if numba_impls is not None:
+        backends["numba"] = {**backends["numpy"], **numba_impls}
+    figure: Dict[str, object] = {
+        "backends_measured": sorted(backends),
+        "stack_rows": STACK_ROWS,
+        "dimension": DIMENSION,
+        "kernels": {},
+    }
+    for name in kernels.KERNEL_NAMES:
+        args, mutates = workloads[name]
+        entry: Dict[str, float] = {}
+        for backend_name, impls in backends.items():
+            function = impls[name]
+            # Warm up outside the timed region (numba JIT-compiles here).
+            function(*(_copy_args(args) if mutates else args))
+            entry[f"{backend_name}_ns_per_op"] = round(
+                _time_kernel(function, args, mutates, rounds, calls), 1
+            )
+        if "numba_ns_per_op" in entry and entry["numba_ns_per_op"] > 0:
+            entry["numba_speedup"] = round(
+                entry["numpy_ns_per_op"] / entry["numba_ns_per_op"], 2
+            )
+        figure["kernels"][name] = entry
+    return figure
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--calls", type=int, default=50)
+    parser.add_argument("--output", default=None,
+                        help="write the figure as JSON instead of printing")
+    arguments = parser.parse_args()
+    figure = collect_kernel_timings(arguments.rounds, arguments.calls)
+    rendered = json.dumps(figure, indent=2)
+    if arguments.output:
+        from pathlib import Path
+
+        Path(arguments.output).write_text(rendered + "\n")
+        print(f"wrote {arguments.output}")
+    else:
+        print(rendered)
+
+
+if __name__ == "__main__":
+    main()

@@ -42,6 +42,16 @@ columnar path vs a per-row ``add`` loop, the store's memory footprint via
 ``sys.getsizeof`` sampling against a plain ``dict[tuple, int]``, and the
 ``tuplestore_stats`` counters of an insert/delete stream (``full_encodes``
 must stay 0).
+
+Since PR 8 (``--pr 8``) it additionally records the per-kernel
+microbenchmark of the pluggable kernel backends (``kernel_microbench``,
+from ``bench_kernels.py``), extends ``ivm_delta_cache`` with the
+``delta_refresh="auto"`` policy and a medium-batch phase, and — because
+absolute throughputs are machine-bound — renames the raw sweep to
+``ivm_throughput_local`` while the gated figure becomes the same-machine
+``ivm_rebaseline`` ratio: pass ``--rebaseline-repo`` a checkout of the
+baseline PR's code (e.g. a git worktree at the PR-5 commit) and both sides
+run through one subprocess harness on the current machine.
 """
 
 from __future__ import annotations
@@ -52,6 +62,7 @@ import json
 import os
 import platform
 import random
+import statistics
 import subprocess
 import sys
 import time
@@ -185,13 +196,23 @@ def _figure4_timings(scales, rounds: int):
 
 
 def _figure6_timings(scales, rounds: int):
-    """Ablation of the optimisation knobs for the covariance batch."""
+    """Ablation of the optimisation knobs for the covariance batch.
+
+    The interpreted/tuple oracle configurations are skipped above
+    ``ORACLE_ROW_CAP`` base rows (see ``bench_figure6_ablation.py``) — the
+    bench scales this figure records stay under the cap, so the recorded
+    staircase is unaffected; the guard keeps any future large-scale sweep
+    from timing the oracles.
+    """
     figure = {}
     for dataset, scale in scales.items():
         database, query, spec = load_dataset(dataset, **scale)
         batch = covariance_batch(spec.continuous_features, spec.categorical_features)
         figure[dataset] = {}
         for name, options in ABLATION:
+            if _figure6.oracle_capped(name, database):
+                figure[dataset][name] = None
+                continue
             timing = _best_of(
                 lambda: LMFAOEngine(database, query, EngineOptions(**options)).evaluate(batch),
                 rounds,
@@ -620,49 +641,102 @@ def _ivm_throughput_timings(scale, rounds: int, seed_reference):
     return figure
 
 
-def _delta_cache_timings(scales, rounds: int, loop_updates: int = 10):
-    """Single-tuple update loops: delta-aware cache refresh vs full eviction.
+def _delta_cache_timings(scales, rounds: int, loop_updates: int = 10,
+                         medium_batch: int = 100):
+    """Update loops: delta-aware cache refresh vs full eviction vs auto.
 
-    Each loop applies one insert to the fact relation and re-evaluates the
-    covariance batch; with ``delta_refresh`` the stale cached views on the
-    mutated relation's root path are patched (only their changed key groups
-    recomputed), without it they are recomputed from scratch.
+    Two phases per ``delta_refresh`` policy (``True``, ``False``, ``"auto"``):
+
+    - **small** — ``loop_updates`` single-tuple inserts to the fact relation,
+      each followed by a re-evaluate.  The static refresh path's home turf.
+    - **medium** — one netted batch of ``medium_batch`` row inserts (above
+      the static ``delta_refresh_limit``, below the change-log capacity),
+      then a re-evaluate.  The static-on policy bails to a full recompute
+      here; ``"auto"`` may keep refreshing when the batch touches a small
+      fraction of a large view's groups (see
+      ``EngineOptions.refresh_budget``).
+
+    The recorded ``auto_vs_best_static`` ratio is the acceptance metric for
+    the adaptive policy: total auto seconds over the better static total.
     """
     figure = {}
     for dataset, scale in scales.items():
         database, query, spec = load_dataset(dataset, **scale)
         batch = covariance_batch(spec.continuous_features, spec.categorical_features)
         fact = max(query.relation_names, key=lambda name: len(database.relation(name)))
-        rows = list(database.relation(fact))[:loop_updates]
+        all_rows = list(database.relation(fact))
+        rows = all_rows[:loop_updates]
+        warmup_rows = all_rows[loop_updates : loop_updates + 2] or rows[:1]
+        medium_rows = all_rows[:medium_batch]
+        ones = [1] * len(medium_rows)
+        undo = [-1] * len(medium_rows)
 
         def run(options):
             engine = LMFAOEngine(database, query, options)
             engine.evaluate(batch)
+            # Steady-state warmup, identical for every policy: a couple of
+            # untimed update+evaluate iterations prime the delta machinery
+            # (change logs, combined-key codings) and — for "auto" — the
+            # per-node cost estimates, so the timed loop measures the
+            # policy's steady state rather than its cold start (the same
+            # convention as _rooting_batch_timings.steady_state).
+            for row in warmup_rows:
+                database.relation(fact).add(row, 1)
+                engine.evaluate(batch)
             refreshed = 0
             started = time.perf_counter()
             for row in rows:
                 database.relation(fact).add(row, 1)
                 result = engine.evaluate(batch)
                 refreshed += result.executor_stats.get("views_delta_refreshed", 0)
-            elapsed = time.perf_counter() - started
+                refreshed += result.executor_stats.get("root_patches", 0)
+            small = time.perf_counter() - started
+            started = time.perf_counter()
+            database.relation(fact).add_batch(medium_rows, ones)
+            result = engine.evaluate(batch)
+            medium = time.perf_counter() - started
+            refreshed += result.executor_stats.get("views_delta_refreshed", 0)
+            refreshed += result.executor_stats.get("root_patches", 0)
+            for row in warmup_rows:
+                database.relation(fact).add(row, -1)
             for row in rows:
                 database.relation(fact).add(row, -1)
-            return elapsed, refreshed
+            database.relation(fact).add_batch(medium_rows, undo)
+            return small, medium, refreshed
 
-        on_best, refreshed = float("inf"), 0
-        off_best = float("inf")
+        policies = {"on": True, "off": False, "auto": "auto"}
+        best = {name: (float("inf"), float("inf"), 0) for name in policies}
         for _ in range(rounds):
-            elapsed, count = run(EngineOptions(delta_refresh=True))
-            if elapsed < on_best:
-                on_best, refreshed = elapsed, count
-            off_best = min(off_best, run(EngineOptions(delta_refresh=False))[0])
+            for name, policy in policies.items():
+                small, medium, refreshed = run(EngineOptions(delta_refresh=policy))
+                if small + medium < best[name][0] + best[name][1]:
+                    best[name] = (small, medium, refreshed)
+        on_small, on_medium, on_refreshed = best["on"]
+        off_small, off_medium, _ = best["off"]
+        auto_small, auto_medium, auto_refreshed = best["auto"]
+        best_static_total = min(on_small + on_medium, off_small + off_medium)
+        auto_total = auto_small + auto_medium
         figure[dataset] = {
             "updated_relation": fact,
             "updates": len(rows),
-            "delta_refresh_seconds": round(on_best, 6),
-            "full_eviction_seconds": round(off_best, 6),
-            "speedup": round(off_best / max(on_best, 1e-12), 2),
-            "views_delta_refreshed": refreshed,
+            "medium_batch_rows": len(medium_rows),
+            # The original small-phase figures keep their PR-3 names.
+            "delta_refresh_seconds": round(on_small, 6),
+            "full_eviction_seconds": round(off_small, 6),
+            "speedup": round(off_small / max(on_small, 1e-12), 2),
+            "views_delta_refreshed": on_refreshed,
+            "auto_seconds": round(auto_small, 6),
+            "medium": {
+                "delta_refresh_seconds": round(on_medium, 6),
+                "full_eviction_seconds": round(off_medium, 6),
+                "auto_seconds": round(auto_medium, 6),
+            },
+            "auto_total_seconds": round(auto_total, 6),
+            "best_static_total_seconds": round(best_static_total, 6),
+            "auto_vs_best_static": round(
+                best_static_total / max(auto_total, 1e-12), 2
+            ),
+            "auto_views_refreshed": auto_refreshed,
         }
     return figure
 
@@ -786,6 +860,95 @@ print(json.dumps(out))
     return json.loads(result.stdout)
 
 
+#: The subprocess harness behind the same-machine rebaseline (PR 8): the
+#: F-IVM retailer stream at the given batch sizes, run against whatever
+#: repro checkout ``root`` points at.  Running *both* sides (the baseline
+#: worktree and the current tree) through this one script makes the ratio a
+#: genuine same-machine, same-harness comparison — recorded absolute
+#: figures from other machines never enter it.
+_REBASELINE_SCRIPT = r"""
+import json, random, sys, time
+root = sys.argv[1]
+sys.path.insert(0, root + "/src")
+from repro.datasets import load_dataset
+from repro.ivm import FIVM, Update
+scale = json.loads(sys.argv[2]); batch_sizes = json.loads(sys.argv[3])
+rounds = int(sys.argv[4])
+database, query, spec = load_dataset("retailer", **scale)
+updates = [Update(r.name, row, 1) for r in database for row in r]
+random.Random(11).shuffle(updates)
+features = list(spec.continuous_features)
+out = {}
+for batch_size in batch_sizes:
+    best = 0.0
+    for _ in range(rounds):
+        m = FIVM(database, query, features)
+        t = time.perf_counter()
+        if batch_size == 1:
+            for update in updates:
+                m.apply(update)
+        else:
+            for start in range(0, len(updates), batch_size):
+                m.apply_batch(updates[start:start + batch_size])
+        best = max(best, len(updates) / (time.perf_counter() - t))
+    out[str(batch_size)] = round(best, 1)
+print(json.dumps(out))
+"""
+
+
+def _measure_fivm_stream(repo_root: Path, scale, batch_sizes, rounds: int):
+    """F-IVM retailer-stream throughput of one checkout (see the script)."""
+    result = subprocess.run(
+        [sys.executable, "-c", _REBASELINE_SCRIPT, str(repo_root),
+         json.dumps(scale), json.dumps(list(batch_sizes)), str(rounds)],
+        capture_output=True, text=True, check=True,
+    )
+    return json.loads(result.stdout)
+
+
+def _rebaseline_timings(baseline_repo: Path, baseline_pr: int, scale,
+                        batch_sizes, rounds: int):
+    """Same-machine F-IVM throughput: a baseline checkout vs this tree.
+
+    The figure ``tools/check_perf_trajectory.py`` gates for PR 8+: recorded
+    absolute throughputs are machine-bound (the trajectory files span
+    containers of very different speeds), so the PR-8 acceptance compares
+    the current code against the *baseline PR's code run on the same
+    machine in the same process-per-side harness*, and records the ratio.
+
+    Container timing drifts by tens of percent over seconds, so the two
+    sides are measured in *interleaved* single-round passes (one fresh
+    process per pass, baseline then current per round) and the recorded
+    ratio is the **median of the per-round paired ratios**: pairing
+    adjacent-in-time passes cancels the common-mode drift, and the median
+    discards the rounds where the machine stalled under exactly one side.
+    The per-side throughputs recorded alongside are each side's best pass
+    (context only — their ratio is *not* the gated figure).
+    """
+    samples = {str(size): [] for size in batch_sizes}
+    baseline = {str(size): 0.0 for size in batch_sizes}
+    current = dict(baseline)
+    for _ in range(max(rounds, 1)):
+        base_pass = _measure_fivm_stream(baseline_repo, scale, batch_sizes, 1)
+        current_pass = _measure_fivm_stream(REPO_ROOT, scale, batch_sizes, 1)
+        for size in samples:
+            samples[size].append(current_pass[size] / max(base_pass[size], 1e-9))
+            baseline[size] = max(baseline[size], base_pass[size])
+            current[size] = max(current[size], current_pass[size])
+    return {
+        "baseline_pr": baseline_pr,
+        "baseline_repo": str(baseline_repo),
+        "scale": scale,
+        "rounds": rounds,
+        "baseline_tuples_per_s": baseline,
+        "current_tuples_per_s": current,
+        "ratios": {
+            size: round(statistics.median(per_round), 3)
+            for size, per_round in samples.items()
+        },
+    }
+
+
 def _attach_speedups(figure, reference):
     for dataset, batches in figure.items():
         for batch_name, entry in batches.items():
@@ -822,6 +985,11 @@ def main() -> None:
                         help="checkout of the seed commit to re-measure the reference")
     parser.add_argument("--skip-large", action="store_true",
                         help="only run the small pytest-suite scales")
+    parser.add_argument("--rebaseline-repo", default=None,
+                        help="checkout of the baseline PR's code for the "
+                             "same-machine ivm_rebaseline figure (PR 8+)")
+    parser.add_argument("--baseline-pr", type=positive_int, default=5,
+                        help="PR number the rebaseline checkout corresponds to")
     arguments = parser.parse_args()
 
     seed_reference = SEED_REFERENCE
@@ -905,13 +1073,25 @@ def main() -> None:
     )
 
     # PR 3: the IVM update-throughput sweep (Figure 4 right), the delta-aware
-    # view cache, and batch-aware rooting.
-    report["figures"]["ivm_throughput_bench"] = _ivm_throughput_timings(
+    # view cache, and batch-aware rooting.  From PR 8 on, the sweep records
+    # under a ``_local_`` name the trajectory checker deliberately does not
+    # gate — absolute throughputs are machine-bound and this container is
+    # far slower than the PR-5 recording's; the gated figure is the
+    # same-machine ``ivm_rebaseline`` ratio below.
+    throughput_prefix = (
+        "ivm_throughput_local" if arguments.pr >= 8 else "ivm_throughput"
+    )
+    report["figures"][f"{throughput_prefix}_bench"] = _ivm_throughput_timings(
         BENCH_SCALES["retailer"], arguments.rounds, seed_ivm_reference.get("bench")
     )
     if not arguments.skip_large:
-        report["figures"]["ivm_throughput_large"] = _ivm_throughput_timings(
+        report["figures"][f"{throughput_prefix}_large"] = _ivm_throughput_timings(
             LARGE_SCALES["retailer"], arguments.rounds, seed_ivm_reference.get("large")
+        )
+    if arguments.rebaseline_repo:
+        report["figures"]["ivm_rebaseline_bench"] = _rebaseline_timings(
+            Path(arguments.rebaseline_repo), arguments.baseline_pr,
+            BENCH_SCALES["retailer"], (1, 100), max(arguments.rounds, 5),
         )
     report["figures"][f"ivm_delta_cache_{rooting_label}"] = _delta_cache_timings(
         rooting_scales, arguments.rounds
@@ -925,6 +1105,21 @@ def main() -> None:
         rooting_scales, arguments.rounds
     )
 
+    # PR 8: the per-kernel microbenchmark of the pluggable backends.
+    if arguments.pr >= 8:
+        bench_kernels = _load_module(
+            "bench_kernels", BENCHMARKS_DIR / "bench_kernels.py"
+        )
+        report["figures"]["kernel_microbench"] = bench_kernels.collect_kernel_timings(
+            rounds=arguments.rounds
+        )
+        from repro import kernels as _kernels
+
+        report["kernel_backend"] = {
+            "active": _kernels.current_backend(),
+            "available": list(_kernels.available_backends()),
+        }
+
     large = report["figures"].get("figure4_batches_large", {})
     speedups = [
         entry.get("speedup_vs_seed")
@@ -934,7 +1129,8 @@ def main() -> None:
     rooting = report["figures"][f"rooting_{rooting_label}"]
     view_cache = report["figures"][f"view_cache_{rooting_label}"]
     ivm_label = (
-        "ivm_throughput_bench" if arguments.skip_large else "ivm_throughput_large"
+        f"{throughput_prefix}_bench" if arguments.skip_large
+        else f"{throughput_prefix}_large"
     )
     ivm = report["figures"][ivm_label]
     delta_cache = report["figures"][f"ivm_delta_cache_{rooting_label}"]
@@ -979,6 +1175,14 @@ def main() -> None:
             dataset: entry["speedup"] for dataset, entry in root_patch.items()
         },
     }
+    if arguments.pr >= 8:
+        report["headline"]["delta_refresh_auto_vs_best_static"] = {
+            dataset: entry["auto_vs_best_static"]
+            for dataset, entry in delta_cache.items()
+        }
+        rebaseline = report["figures"].get("ivm_rebaseline_bench")
+        if rebaseline is not None:
+            report["headline"]["ivm_rebaseline_ratio_vs_pr5"] = rebaseline["ratios"]
 
     output = Path(
         arguments.output
@@ -1013,6 +1217,16 @@ def main() -> None:
         f"CSV ingest {report['headline']['storage_csv_ingest_speedup']}x vs "
         f"per-row add, full_encodes={report['headline']['storage_full_encodes']}"
     )
+    if "delta_refresh_auto_vs_best_static" in report.get("headline", {}):
+        print(
+            "delta_refresh='auto' vs best static: "
+            f"{report['headline']['delta_refresh_auto_vs_best_static']}"
+        )
+    if "ivm_rebaseline_ratio_vs_pr5" in report.get("headline", {}):
+        print(
+            "same-machine F-IVM ratio vs baseline checkout: "
+            f"{report['headline']['ivm_rebaseline_ratio_vs_pr5']}"
+        )
 
 
 if __name__ == "__main__":

@@ -69,6 +69,13 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.kernels import get_kernels
+
+#: The stable kernel-dispatch singleton: `set_backend` rebinds its
+#: attributes in place, so a module-level binding still sees every switch
+#: while the hot loops skip one function call per kernel invocation.
+_KERNELS = get_kernels()
+
 __all__ = ["TupleStore", "tuplestore_stats", "reset_tuplestore_stats"]
 
 
@@ -435,53 +442,74 @@ class TupleStore:
     def add_batch(self, rows: Sequence[Tuple], multiplicities: Sequence[int]) -> None:
         """Apply one signed delta in a single pass (one version bump, one log group).
 
-        When every row of the delta is new, the whole batch is appended with
-        vectorised per-column encoding and logged as an array slice; as soon
-        as one row nets into an existing slot the batch falls back to the
-        scalar path for the remainder (still one version bump and one pair
-        group for the lot).
+        The rows are resolved against the row index once: brand-new rows
+        are bulk-appended with vectorised per-column encoding (and logged
+        as an array slice when the whole delta was a pure append of
+        distinct rows), while rows netting into existing slots go through
+        the active kernel backend's ``net_deltas`` — one vectorised pass
+        with the zero-crossing live/tombstone/total bookkeeping folded in,
+        replacing the per-row scalar fallback of PR 5.
         """
         self.version += 1
-        row_index = self._row_index
+        get_slot = self._row_index.get
         start = len(self._rows)
-        # Fast scan: is this a pure append of distinct new rows?
-        pure_append = True
-        seen_in_batch: set = set()
-        for row in rows:
-            if row in row_index or row in seen_in_batch:
-                pure_append = False
-                break
-            seen_in_batch.add(row)
-        applied = 0
-        if pure_append:
-            payload = [
-                (row, multiplicity)
-                for row, multiplicity in zip(rows, multiplicities)
-                if multiplicity != 0
-            ]
-            if payload:
-                self._append_rows(
-                    [row for row, _m in payload],
-                    np.asarray([m for _r, m in payload], dtype=np.float64),
-                )
-                applied = len(payload)
-                tuplestore_stats.bump("batch_appends")
-                self._log_slice(self.version, start, start + applied)
-        else:
-            pairs: List[Tuple[Tuple, int]] = []
-            for row, multiplicity in zip(rows, multiplicities):
-                if multiplicity == 0:
-                    continue
-                self._apply_one(row, multiplicity)
-                pairs.append((row, multiplicity))
-            applied = len(pairs)
-            if applied:
-                if applied >= CHANGE_LOG_LIMIT:
-                    # A delta this large exceeds what any log consumer would
-                    # replay; drop coverage instead of pinning it in memory.
-                    self._drop_log()
+        pairs: List[Tuple[Tuple, int]] = []
+        new_rows: List[Tuple] = []
+        new_mults: List[float] = []
+        new_position: Dict[Tuple, int] = {}
+        existing_slots: List[int] = []
+        existing_deltas: List[float] = []
+        for row, multiplicity in zip(rows, multiplicities):
+            if multiplicity == 0:
+                continue
+            pairs.append((row, multiplicity))
+            slot = get_slot(row)
+            if slot is None:
+                position = new_position.get(row)
+                if position is None:
+                    new_position[row] = len(new_rows)
+                    new_rows.append(row)
+                    new_mults.append(float(multiplicity))
                 else:
-                    self._log_pairs(self.version, pairs)
+                    # The same new row repeated inside one delta nets into
+                    # its pending append entry (it may net out to a
+                    # tombstone, exactly as the scalar path left it).
+                    new_mults[position] += multiplicity
+            else:
+                existing_slots.append(slot)
+                existing_deltas.append(float(multiplicity))
+        if new_rows:
+            mult_array = np.asarray(new_mults, dtype=np.float64)
+            self._append_rows(new_rows, mult_array)
+            netted_out = int((mult_array == 0.0).sum())
+            if netted_out:
+                self.live -= netted_out
+                self.zeros += netted_out
+        if existing_slots:
+            slots = np.asarray(existing_slots, dtype=np.int64)
+            floor = self._slice_floor
+            if floor is not None and int(slots.max()) >= floor:
+                self._materialise_slices()
+            if self._cow_pending and int(slots.min()) < self._pin_floor:
+                # A netted slot is visible to a pinned snapshot; writing it
+                # in place would tear that snapshot's multiplicities.
+                self._detach_mults()
+            live_delta, zeros_delta, total_delta = _KERNELS.net_deltas(
+                self._mults.data, slots, np.asarray(existing_deltas, dtype=np.float64)
+            )
+            self.live += live_delta
+            self.zeros += zeros_delta
+            self.total += total_delta
+        if pairs:
+            if not existing_slots and len(new_rows) == len(pairs):
+                tuplestore_stats.bump("batch_appends")
+                self._log_slice(self.version, start, start + len(new_rows))
+            elif len(pairs) >= CHANGE_LOG_LIMIT:
+                # A delta this large exceeds what any log consumer would
+                # replay; drop coverage instead of pinning it in memory.
+                self._drop_log()
+            else:
+                self._log_pairs(self.version, pairs)
         self._maybe_compact()
 
     def clear(self) -> None:
@@ -575,7 +603,7 @@ class TupleStore:
         self._materialise_slices()
         self.flush_encodings()
         mults = self._mults.view()
-        keep = np.nonzero(mults != 0.0)[0]
+        keep = _KERNELS.compact_keep(mults)
         rows = self._rows
         self._rows = [rows[slot] for slot in keep.tolist()]
         self._row_index = {row: slot for slot, row in enumerate(self._rows)}

@@ -614,6 +614,30 @@ class ColumnarView(dict):
         """The fixed attribute sequence of every group key, when known."""
         return self._group_attrs
 
+    def conn_key_count_hint(self) -> int:
+        """Roughly how many distinct connection keys the view holds.
+
+        Cheap on purpose: before the dict shape exists this reads the decoded
+        key list (an upper bound — unused codes may linger), afterwards the
+        exact dict length.  Never triggers materialisation; the adaptive
+        delta-refresh policy sizes its budget from this.
+        """
+        if self._ready:
+            return dict.__len__(self)
+        return len(self._conn_keys)
+
+    def entry_count_hint(self) -> int:
+        """Roughly how many (connection key, group) entries the view holds.
+
+        Like :meth:`conn_key_count_hint` but at entry granularity (the root
+        patch budget); reads the code arrays, never materialises the dict.
+        """
+        if self._ready:
+            return sum(len(groups) for groups in dict.values(self))
+        if self._present is not None:
+            return len(self._present)
+        return len(self._sums)
+
     def group_items(self) -> Optional[List[Tuple[Tuple, float]]]:
         """All (group pairs, value) entries when the view has no connection key.
 

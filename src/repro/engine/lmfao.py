@@ -28,6 +28,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro import kernels
 from repro.aggregates.spec import Aggregate, AggregateBatch
 from repro.data.database import Database
 from repro.data.relation import Relation
@@ -93,6 +94,31 @@ def _root_delta_items(delta_view: View) -> List[Tuple[Tuple, float]]:
     return list(delta_view.get((), {}).items())
 
 
+def _conn_key_hint(view: View) -> int:
+    """Roughly how many connection keys a cached view holds (cheap, no
+    materialisation) — the group-count estimate the adaptive delta-refresh
+    budget is sized from."""
+    if isinstance(view, ColumnarView):
+        return view.conn_key_count_hint()
+    try:
+        return len(view)
+    except TypeError:
+        return 0
+
+
+def _root_group_hint(view: View) -> int:
+    """Roughly how many group entries a cached *root* view holds (cheap, no
+    materialisation) — the estimate the adaptive root-patch budget is sized
+    from."""
+    if isinstance(view, ColumnarView):
+        return view.entry_count_hint()
+    getter = getattr(view, "get", None)
+    if getter is None:
+        return 0
+    groups = getter((), None)
+    return len(groups) if groups is not None else 0
+
+
 @dataclass
 class EngineOptions:
     """Optimisation switches of the engine.
@@ -124,11 +150,30 @@ class EngineOptions:
         subtree saw a *small* update from scratch, recompute only its changed
         key groups (derived from the mutated relation's change log) and
         splice them into the cached view — see
-        :meth:`LMFAOEngine._try_delta_refresh`.
+        :meth:`LMFAOEngine._try_delta_refresh`.  Accepts ``True`` (always
+        attempt, bounded by the static ``delta_refresh_limit``), ``False``
+        (always recompute), or ``"auto"``: the engine decides per view from
+        two signals — the touched-group fraction of the netted batch (the
+        budget is sized per view, so a batch touching a small fraction of a
+        large view's groups delta-refreshes even past the static limit while
+        one touching most of a small view recomputes; see
+        :meth:`EngineOptions.refresh_budget`) and the *measured* per-view
+        costs of the two paths at each node (see
+        :meth:`LMFAOEngine._auto_refresh_pays` — nodes whose full recompute
+        is observably cheaper than the splice machinery fall back to it).
     ``delta_refresh_limit``
         Delta-refresh only engages while the logged change set and the
         changed-key set stay at or below this size; larger deltas fall back
-        to the plain recompute.
+        to the plain recompute.  Under ``delta_refresh="auto"`` this is the
+        budget *floor*, raised for views with many groups.
+    ``kernel_backend``
+        Which :mod:`repro.kernels` backend the engine activates at
+        construction: ``"numpy"``, ``"numba"`` (raises when numba is not
+        importable), or ``"auto"`` (the default — keep whatever the
+        process-global registry resolved, i.e. the ``REPRO_KERNEL_BACKEND``
+        environment variable or numba-if-available).  The registry is
+        process-global, so a non-auto setting affects every engine and
+        maintainer in the process.
     ``root_patching``
         With ``delta_refresh``: patch stale cached *root* views by
         propagating the logged delta up the join tree as a signed delta view
@@ -160,11 +205,41 @@ class EngineOptions:
     root_strategy: str = "cost"     # "cost" | "widest" | "cost-batch"
     cache_views: bool = True
     view_cache_size: int = 512
-    delta_refresh: bool = True
+    delta_refresh: "Union[bool, str]" = True   # True | False | "auto"
     delta_refresh_limit: int = 64
     root_patching: bool = True
     columnar_root_patch: bool = True
     parallel_deltas: bool = False
+    kernel_backend: str = "auto"    # "auto" | "numpy" | "numba"
+
+    def __post_init__(self) -> None:
+        if self.delta_refresh not in (True, False, "auto"):
+            raise ValueError(
+                f"delta_refresh must be True, False or 'auto', "
+                f"got {self.delta_refresh!r}"
+            )
+        if self.kernel_backend not in ("auto", "numpy", "numba"):
+            # Spelling check only; whether "numba" is actually importable is
+            # set_backend's call (RuntimeError at engine construction).
+            raise ValueError(
+                f"unknown kernel_backend {self.kernel_backend!r}; "
+                "expected 'auto', 'numpy' or 'numba'"
+            )
+
+    def refresh_budget(self, group_hint: int = 0) -> int:
+        """The changed-key budget delta refresh may spend on one view.
+
+        Static modes return ``delta_refresh_limit`` unchanged.  Under
+        ``"auto"`` the budget scales with the view: up to a quarter of its
+        groups (``group_hint``) may be refreshed before a full recompute is
+        judged cheaper, with the static limit as the floor — so small views
+        keep the proven static behaviour while large views stop bailing out
+        on deltas that touch a tiny fraction of their groups.
+        """
+        limit = int(self.delta_refresh_limit)
+        if self.delta_refresh == "auto":
+            return max(limit, int(group_hint) // 4)
+        return limit
 
     def resolved_workers(self) -> int:
         """The thread-pool size: explicit ``workers`` or a cpu-count default."""
@@ -247,6 +322,11 @@ class LMFAOEngine:
         self.database = database
         self.query = query
         self.options = options or EngineOptions()
+        if self.options.kernel_backend != "auto":
+            # "auto" deliberately leaves the process-global registry alone —
+            # the import-time resolution (env var / autodetect) stands, and
+            # default-options engines never undo an explicit set_backend().
+            kernels.set_backend(self.options.kernel_backend)
         #: How the root was picked (candidate costs included); None when the
         #: caller forced ``root_relation`` or asked for the widest heuristic.
         self.root_choice: Optional[RootChoice] = None
@@ -277,6 +357,16 @@ class LMFAOEngine:
         # strong reference rides along so the id cannot be recycled).
         self._batch_roots: Dict[Tuple, str] = {}
         self._batch_roots_by_id: Dict[int, Tuple[AggregateBatch, str]] = {}
+        # Observed per-view costs (EWMA seconds), per node: what a full
+        # recompute of one of the node's views costs vs what refreshing one
+        # through the delta paths costs.  The delta_refresh="auto" policy
+        # consults these before attempting a refresh — the touched-group
+        # fraction bounds how much splicing is worth *trying*, but only a
+        # measured comparison can tell whether this node's recompute is so
+        # cheap that the refresh machinery loses outright (the PR-5
+        # crossover observation).
+        self._recompute_cost: Dict[str, float] = {}
+        self._refresh_cost: Dict[str, float] = {}
         # Parked per-root state for cost-batch rerooting: alternating batch
         # shapes with different best roots swap their trees, subtree names
         # and view caches instead of recomputing them from scratch.
@@ -558,7 +648,8 @@ class LMFAOEngine:
         ) -> Dict[ViewSignature, View]:
             # Deduplicate for the result dictionary but keep the full list when
             # sharing is off so the (redundant) work is actually performed.
-            return compute_node_views(
+            started = time.perf_counter()
+            computed = compute_node_views(
                 node,
                 self.database.relation(node.relation_name),
                 signatures,
@@ -570,6 +661,13 @@ class LMFAOEngine:
                 context_cache=self._context_cache if share else None,
                 stats=node_stats,
             )
+            if signatures:
+                self._observe_cost(
+                    self._recompute_cost,
+                    node.relation_name,
+                    (time.perf_counter() - started) / len(signatures),
+                )
+            return computed
 
         def merge_stats(node_stats: Dict[str, int]) -> None:
             if stats is not None:
@@ -615,11 +713,36 @@ class LMFAOEngine:
 
     # -- delta-aware cache refresh -------------------------------------------------------
 
+    @staticmethod
+    def _observe_cost(table: Dict[str, float], name: str, seconds: float) -> None:
+        """Fold one per-view cost observation into the node's EWMA."""
+        previous = table.get(name)
+        table[name] = seconds if previous is None else 0.5 * previous + 0.5 * seconds
+
+    def _auto_refresh_pays(self, name: str) -> bool:
+        """Whether ``delta_refresh="auto"`` should attempt a refresh at this node.
+
+        Optimistic until both sides are measured (the initial evaluate
+        records every node's recompute cost, the first attempted refresh
+        records the refresh side), then a plain comparison of the per-view
+        EWMAs.  Nodes whose full recompute is cheaper than the splice
+        machinery — small views over fast scans, the case behind the PR-5
+        crossover note — settle on recompute within an update or two; the
+        recompute estimate stays fresh there because declining a refresh
+        routes the views straight back through the timed compute path.
+        """
+        refresh = self._refresh_cost.get(name)
+        recompute = self._recompute_cost.get(name)
+        if refresh is None or recompute is None:
+            return True
+        return refresh <= recompute
+
     def _changed_conn_keys(
         self,
         target: JoinTreeNode,
         changed_name: str,
         changes: List[Tuple[Tuple, int]],
+        limit: int,
     ) -> Optional[List[Tuple]]:
         """The connection keys of ``target`` affected by ``changes`` to one relation.
 
@@ -627,10 +750,10 @@ class LMFAOEngine:
         the mutated node's affected keys are those of the changed rows, and
         each ancestor's are the connection keys of its rows whose child key
         is affected — read off the (fresh, because only ``changed_name``
-        mutated) column stores.  None when the set outgrows
-        ``delta_refresh_limit``.
+        mutated) column stores.  None when the set outgrows ``limit`` (the
+        caller's per-view refresh budget — static ``delta_refresh_limit`` or
+        the adaptive one, see :meth:`EngineOptions.refresh_budget`).
         """
-        limit = int(self.options.delta_refresh_limit)
         node = self.join_tree.node(changed_name)
         relation = self.database.relation(changed_name)
         conn = tuple(sorted(node.connection_attributes()))
@@ -683,12 +806,13 @@ class LMFAOEngine:
             # splicing degenerates to a full recompute; patch the root's
             # *payload* instead: propagate the delta view up and add it.
             return self._try_patch_root(node, stale, versions, plan, views, stats)
+        if options.delta_refresh == "auto" and not self._auto_refresh_pays(
+            node.relation_name
+        ):
+            return [signature for signature, _entry in stale]
         names = self._subtree_names[node.relation_name]
-        limit = int(options.delta_refresh_limit)
         pending: List[ViewSignature] = []
-        # (changed relation, its old version) -> affected conn keys (or None).
-        key_sets: Dict[Tuple[str, int], Optional[List[Tuple]]] = {}
-        groups: Dict[Tuple[str, int], List[Tuple[ViewSignature, View]]] = {}
+        candidates: Dict[Tuple[str, int], List[Tuple[ViewSignature, View]]] = {}
         for signature, (old_versions, old_view) in stale:
             changed = [
                 (name, old)
@@ -698,23 +822,31 @@ class LMFAOEngine:
             if len(changed) != 1:
                 pending.append(signature)
                 continue
-            group_key = changed[0]
-            if group_key not in key_sets:
-                changes = self.database.relation(group_key[0]).changes_since(group_key[1])
-                if changes is None or len(changes) > limit:
-                    key_sets[group_key] = None
-                else:
-                    key_sets[group_key] = self._changed_conn_keys(
-                        node, group_key[0], changes
-                    )
-            if key_sets[group_key] is None:
-                pending.append(signature)
-            else:
-                groups.setdefault(group_key, []).append((signature, old_view))
+            candidates.setdefault(changed[0], []).append((signature, old_view))
 
+        groups: Dict[Tuple[str, int], List[Tuple[ViewSignature, View]]] = {}
+        key_sets: Dict[Tuple[str, int], List[Tuple]] = {}
+        for group_key, members in candidates.items():
+            # Budget per changed-relation group: views cached for the same
+            # node share their group structure, so the largest member's key
+            # count is the honest fraction denominator for all of them.
+            limit = options.refresh_budget(
+                max(_conn_key_hint(view) for _sig, view in members)
+            )
+            changes = self.database.relation(group_key[0]).changes_since(group_key[1])
+            if changes is None or len(changes) > limit:
+                pending.extend(signature for signature, _view in members)
+                continue
+            changed_keys = self._changed_conn_keys(node, group_key[0], changes, limit)
+            if changed_keys is None:
+                pending.extend(signature for signature, _view in members)
+                continue
+            groups[group_key] = members
+            key_sets[group_key] = changed_keys
+
+        refresh_started = time.perf_counter()
         for group_key, members in groups.items():
             changed_keys = key_sets[group_key]
-            assert changed_keys is not None
             refreshed = self._refresh_key_groups(
                 node, [signature for signature, _view in members], changed_keys, plan, views
             )
@@ -743,6 +875,12 @@ class LMFAOEngine:
                     stats.get(STAT_DELTA_REFRESHED, 0) + len(members)
                 )
         if groups:
+            self._observe_cost(
+                self._refresh_cost,
+                node.relation_name,
+                (time.perf_counter() - refresh_started)
+                / sum(len(members) for members in groups.values()),
+            )
             cache_limit = max(int(options.view_cache_size), 0)
             while len(self._view_cache) > cache_limit:
                 self._view_cache.popitem(last=False)
@@ -778,11 +916,13 @@ class LMFAOEngine:
         options = self.options
         if not options.root_patching:
             return [signature for signature, _entry in stale]
+        if options.delta_refresh == "auto" and not self._auto_refresh_pays(
+            root.relation_name
+        ):
+            return [signature for signature, _entry in stale]
         names = self._subtree_names[root.relation_name]
-        limit = int(options.delta_refresh_limit)
         pending: List[ViewSignature] = []
-        change_sets: Dict[Tuple[str, int], Optional[List[Tuple[Tuple, int]]]] = {}
-        groups: Dict[Tuple[str, int], List[Tuple[ViewSignature, View]]] = {}
+        candidates: Dict[Tuple[str, int], List[Tuple[ViewSignature, View]]] = {}
         for signature, (old_versions, old_view) in stale:
             changed = [
                 (name, old)
@@ -792,26 +932,27 @@ class LMFAOEngine:
             if len(changed) != 1:
                 pending.append(signature)
                 continue
-            group_key = changed[0]
-            if group_key not in change_sets:
-                changes = self.database.relation(group_key[0]).changes_since(
-                    group_key[1]
-                )
-                if changes is not None and len(changes) > limit:
-                    changes = None
-                change_sets[group_key] = changes
-            if change_sets[group_key] is None:
-                pending.append(signature)
-            else:
-                groups.setdefault(group_key, []).append((signature, old_view))
+            candidates.setdefault(changed[0], []).append((signature, old_view))
+
+        groups: Dict[Tuple[str, int], Tuple[List[Tuple[ViewSignature, View]],
+                                            List[Tuple[Tuple, int]], int]] = {}
+        for group_key, members in candidates.items():
+            limit = options.refresh_budget(
+                max(_root_group_hint(view) for _sig, view in members)
+            )
+            changes = self.database.relation(group_key[0]).changes_since(group_key[1])
+            if changes is None or len(changes) > limit:
+                pending.extend(signature for signature, _view in members)
+                continue
+            groups[group_key] = (members, changes, limit)
 
         use_columnar = bool(options.columnar_root_patch)
-        for (changed_name, _old_version), members in groups.items():
-            changes = change_sets[(changed_name, _old_version)]
-            assert changes is not None
+        patched_count = 0
+        patch_started = time.perf_counter()
+        for (changed_name, _old_version), (members, changes, limit) in groups.items():
             signatures = [signature for signature, _view in members]
             deltas = self._propagate_root_delta(
-                changed_name, changes, signatures, plan, views
+                changed_name, changes, signatures, plan, views, limit
             )
             if deltas is None:
                 pending.extend(signatures)
@@ -836,10 +977,17 @@ class LMFAOEngine:
                 views[(root.relation_name, signature)] = patched
                 self._view_cache[(root.relation_name, signature)] = (versions, patched)
                 self._view_cache.move_to_end((root.relation_name, signature))
+            patched_count += len(members)
             if stats is not None:
                 stats[STAT_ROOT_PATCHED] = (
                     stats.get(STAT_ROOT_PATCHED, 0) + len(members)
                 )
+        if patched_count:
+            self._observe_cost(
+                self._refresh_cost,
+                root.relation_name,
+                (time.perf_counter() - patch_started) / patched_count,
+            )
         if groups:
             cache_limit = max(int(self.options.view_cache_size), 0)
             while len(self._view_cache) > cache_limit:
@@ -853,6 +1001,7 @@ class LMFAOEngine:
         signatures: List[ViewSignature],
         plan: BatchPlan,
         views: Dict[Tuple[str, ViewSignature], View],
+        limit: int,
     ) -> Optional[Dict[ViewSignature, View]]:
         """The root views' delta induced by one relation's signed changes.
 
@@ -863,10 +1012,10 @@ class LMFAOEngine:
         evaluated, with the path child's view *replaced by the delta view*
         and all other children served from ``views`` (their subtrees are
         unchanged by the single-relation guard).  Linearity in one relation
-        makes this exact.  None when a hop's key set outgrows
-        ``delta_refresh_limit`` (the caller then recomputes fully).
+        makes this exact.  None when a hop's key set outgrows ``limit`` —
+        the caller's per-view refresh budget — and the caller then
+        recomputes fully.
         """
-        limit = int(self.options.delta_refresh_limit)
         node = self.join_tree.node(changed_name)
         path: List[JoinTreeNode] = []
         current_node: Optional[JoinTreeNode] = node

@@ -36,6 +36,7 @@ from repro.data.colstore import ColumnStore
 from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.engine.deltas import csr_from_codes, key_codes_for
+from repro.kernels import kernel_stats, kernel_stats_enabled
 from repro.engine.statistics import choose_root
 from repro.query.conjunctive import ConjunctiveQuery
 from repro.query.join_tree import JoinTree, JoinTreeNode, build_join_tree
@@ -386,9 +387,33 @@ class CovarianceMaintainer(abc.ABC):
                 "(e.g. QueryServer.apply_batch)"
             )
         try:
-            return self._apply_batch_locked(list(updates))
+            before = kernel_stats() if kernel_stats_enabled() else None
+            applied = self._apply_batch_locked(list(updates))
+            if before is not None:
+                self._merge_kernel_stats(before)
+            return applied
         finally:
             self._writer_gate.release()
+
+    def _merge_kernel_stats(self, before: Dict[str, Dict[str, int]]) -> None:
+        """Fold this batch's kernel counter deltas into ``executor_stats``.
+
+        Only runs when :func:`repro.kernels.enable_kernel_stats` turned
+        counting on (the counters are process-global; the delta against the
+        batch-start snapshot attributes them to this maintainer).  Keys are
+        ``kernel_<name>_calls`` / ``kernel_<name>_ns``.
+        """
+        stats = self.executor_stats
+        for name, counters in kernel_stats().items():
+            calls = counters["calls"] - before[name]["calls"]
+            if not calls:
+                continue
+            calls_key = f"kernel_{name}_calls"
+            ns_key = f"kernel_{name}_ns"
+            stats[calls_key] = stats.get(calls_key, 0) + calls
+            stats[ns_key] = (
+                stats.get(ns_key, 0) + counters["ns"] - before[name]["ns"]
+            )
 
     def _apply_batch_locked(self, updates: List[Update]) -> int:
         if len(updates) < 2 or not self.supports_batch_deltas:

@@ -281,7 +281,11 @@ class FIVM(CovarianceMaintainer):
             self._views[name].add_scratch(conn_key, scratch)
             if node.parent is not None:
                 keys: List[Tuple] = [conn_key]
-                block = scratch.block()
+                # The hop only reads its input block (derived blocks are
+                # freshly gathered), so the scratch's preallocated aliasing
+                # view replaces the three per-update array copies block()
+                # paid here before PR 8.
+                block = scratch.block_view()
                 while True:
                     hop = self._hop(node, keys, block)
                     if hop is None:

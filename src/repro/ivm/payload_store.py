@@ -20,7 +20,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.kernels import get_kernels
 from repro.rings.covariance import CovarianceBlock, CovariancePayload
+
+#: The stable kernel-dispatch singleton: `set_backend` rebinds its
+#: attributes in place, so a module-level binding still sees every switch
+#: while the hot loops skip one function call per kernel invocation.
+_KERNELS = get_kernels()
+
 
 __all__ = ["PayloadStore"]
 
@@ -183,7 +190,9 @@ class PayloadStore:
         """``scratch *= payload(slot)`` in place, exploiting a known support.
 
         The per-tuple counterpart of :meth:`multiply_into`; ``scratch`` is a
-        :class:`~repro.rings.covariance.PayloadScratch`.
+        :class:`~repro.rings.covariance.PayloadScratch`.  Calls the scratch
+        kernels of the active :mod:`repro.kernels` backend directly (no
+        method hop) — this is the hottest per-update chain.
         """
         support = self.support
         if support is not None and len(support) == 0:
@@ -191,14 +200,24 @@ class PayloadStore:
             return
         if support is not None and len(support) == 1:
             position = support[0]
-            scratch.multiply_point(
+            scratch.count = _KERNELS.scratch_multiply_point(
+                scratch.count,
+                scratch.sums,
+                scratch.moments,
                 self.counts[slot],
                 self.sums[slot, position],
                 self.moments[slot, position, position],
                 position,
             )
             return
-        scratch.multiply_dense(self.counts[slot], self.sums[slot], self.moments[slot])
+        scratch.count = _KERNELS.scratch_multiply_dense(
+            scratch.count,
+            scratch.sums,
+            scratch.moments,
+            self.counts[slot],
+            self.sums[slot],
+            self.moments[slot],
+        )
 
     def add_scratch(self, key: Tuple, scratch) -> None:
         """Add a scratch payload into one slot (creating the key if new)."""

@@ -1,0 +1,376 @@
+"""The optional numba-JIT kernel backend (guarded import).
+
+``load()`` returns the kernel overrides when numba is importable and
+``None`` otherwise — the container this repo grows in does *not* ship
+numba, so nothing in this module may import it at module load time; the CI
+matrix runs one job with numba installed to keep this path exercised.
+
+Determinism: every kernel here replicates the per-element floating-point
+operation *sequence* of its numpy twin (see
+:mod:`repro.kernels.numpy_backend`) — same multiplies, same adds, same
+order per written element, with ``fastmath`` left off so LLVM contracts
+nothing into FMAs.  The one exception is :func:`segment_sum`, whose
+reduction association is backend-defined by the package contract: this
+backend accumulates each segment *sequentially in stable-sort order*
+(numpy's ``reduceat`` uses blocked pairwise association), which is
+deterministic but may differ from numpy in the last ulp on sums that are
+not exactly representable.  The cross-backend equivalence suites use
+dyadic feature values so both backends must agree bitwise there.
+
+Only bit-replicable or contract-covered kernels are overridden; the fused
+``*_total`` reductions stay on the shared numpy implementations (see the
+package docstring).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+__all__ = ["available", "load"]
+
+_cache: Optional[Dict[str, Callable]] = None
+_checked = False
+
+
+def available() -> bool:
+    """True when numba imports cleanly (no compilation attempted)."""
+    global _checked
+    if _cache is not None:
+        return True
+    if _checked:
+        return False
+    try:
+        import numba  # noqa: F401
+    except Exception:
+        _checked = True
+        return False
+    _checked = True
+    return True
+
+
+def load() -> Optional[Dict[str, Callable]]:
+    """The kernel overrides, compiling lazily; None when numba is absent."""
+    global _cache
+    if _cache is not None:
+        return _cache
+    if not available():
+        return None
+    _cache = _build()
+    return _cache
+
+
+def _build() -> Dict[str, Callable]:
+    from numba import njit
+
+    # -- compiled cores ------------------------------------------------------------
+
+    @njit(cache=True)
+    def _segment_sum(counts, sums, moments, codes, size):
+        k = counts.shape[0]
+        d = sums.shape[1]
+        out_counts = np.zeros(size)
+        out_sums = np.zeros((size, d))
+        out_moments = np.zeros((size, d, d))
+        if k == 0:
+            return out_counts, out_sums, out_moments
+        order = np.argsort(codes, kind="mergesort")
+        for index in range(k):
+            row = order[index]
+            group = codes[row]
+            out_counts[group] += counts[row]
+            for i in range(d):
+                out_sums[group, i] += sums[row, i]
+            for i in range(d):
+                for j in range(d):
+                    out_moments[group, i, j] += moments[row, i, j]
+        return out_counts, out_sums, out_moments
+
+    @njit(cache=True)
+    def _lift_sparse(features, weights, positions):
+        k = features.shape[0]
+        d = features.shape[1]
+        counts = weights.copy()
+        sums = np.zeros((k, d))
+        moments = np.zeros((k, d, d))
+        for row in range(k):
+            weight = weights[row]
+            for i in range(d):
+                sums[row, i] = features[row, i] * weight
+            for pi in range(positions.shape[0]):
+                i = positions[pi]
+                lifted = weight * features[row, i]
+                for pj in range(positions.shape[0]):
+                    j = positions[pj]
+                    moments[row, i, j] = lifted * features[row, j]
+        return counts, sums, moments
+
+    @njit(cache=True)
+    def _lift_sparse_unit(features, positions):
+        k = features.shape[0]
+        d = features.shape[1]
+        counts = np.ones(k)
+        moments = np.zeros((k, d, d))
+        for row in range(k):
+            for pi in range(positions.shape[0]):
+                i = positions[pi]
+                lifted = features[row, i]
+                for pj in range(positions.shape[0]):
+                    j = positions[pj]
+                    moments[row, i, j] = lifted * features[row, j]
+        return counts, features, moments
+
+    @njit(cache=True)
+    def _multiply_elementwise(counts1, sums1, moments1, counts2, sums2, moments2):
+        k = counts1.shape[0]
+        d = sums1.shape[1]
+        counts = np.empty(k)
+        sums = np.empty((k, d))
+        moments = np.empty((k, d, d))
+        for row in range(k):
+            c1 = counts1[row]
+            c2 = counts2[row]
+            counts[row] = c1 * c2
+            for i in range(d):
+                sums[row, i] = c2 * sums1[row, i] + c1 * sums2[row, i]
+            for i in range(d):
+                s1i = sums1[row, i]
+                s2i = sums2[row, i]
+                for j in range(d):
+                    moments[row, i, j] = (
+                        c2 * moments1[row, i, j] + c1 * moments2[row, i, j]
+                        + s1i * sums2[row, j]
+                    ) + sums1[row, j] * s2i
+        return counts, sums, moments
+
+    @njit(cache=True)
+    def _multiply_point(counts1, sums1, moments1, counts2, sums_at, moments_at, position):
+        k = counts1.shape[0]
+        d = sums1.shape[1]
+        counts = np.empty(k)
+        sums = np.empty((k, d))
+        moments = np.empty((k, d, d))
+        for row in range(k):
+            c1 = counts1[row]
+            c2 = counts2[row]
+            s_at = sums_at[row]
+            counts[row] = c1 * c2
+            for i in range(d):
+                sums[row, i] = sums1[row, i] * c2
+            sums[row, position] += c1 * s_at
+            for i in range(d):
+                for j in range(d):
+                    moments[row, i, j] = moments1[row, i, j] * c2
+            for i in range(d):
+                moments[row, i, position] += sums1[row, i] * s_at
+            for j in range(d):
+                moments[row, position, j] += sums1[row, j] * s_at
+            moments[row, position, position] += c1 * moments_at[row]
+        return counts, sums, moments
+
+    @njit(cache=True)
+    def _multiply_lifted(counts1, sums1, moments1, features, weights, positions):
+        k = counts1.shape[0]
+        d = sums1.shape[1]
+        counts = np.empty(k)
+        sums = np.empty((k, d))
+        moments = np.empty((k, d, d))
+        for row in range(k):
+            weight = weights[row]
+            c1 = counts1[row]
+            counts[row] = c1 * weight
+            for i in range(d):
+                sums[row, i] = sums1[row, i] * weight
+            for i in range(d):
+                for j in range(d):
+                    moments[row, i, j] = moments1[row, i, j] * weight
+            for pr in range(positions.shape[0]):
+                r = positions[pr]
+                lifted = weight * features[row, r]
+                sums[row, r] += c1 * lifted
+                for i in range(d):
+                    moments[row, i, r] += sums1[row, i] * lifted
+                for j in range(d):
+                    moments[row, r, j] += sums1[row, j] * lifted
+                for pc in range(positions.shape[0]):
+                    c = positions[pc]
+                    moments[row, r, c] += c1 * lifted * features[row, c]
+        return counts, sums, moments
+
+    @njit(cache=True)
+    def _scratch_reset_lift(sums, moments, multiplicity, positions, values):
+        sums[:] = 0.0
+        moments[:, :] = 0.0
+        n = positions.shape[0]
+        for p in range(n):
+            sums[positions[p]] = multiplicity * values[p]
+        for p in range(n):
+            weighted = multiplicity * values[p]
+            i = positions[p]
+            for q in range(n):
+                moments[i, positions[q]] = weighted * values[q]
+
+    @njit(cache=True)
+    def _scratch_multiply_point(count, sums, moments, count2, sum_at, moment_at, position):
+        d = sums.shape[0]
+        for i in range(d):
+            for j in range(d):
+                moments[i, j] *= count2
+        for i in range(d):
+            moments[i, position] += sums[i] * sum_at
+        for j in range(d):
+            moments[position, j] += sums[j] * sum_at
+        moments[position, position] += count * moment_at
+        for i in range(d):
+            sums[i] *= count2
+        sums[position] += count * sum_at
+        return count * count2
+
+    @njit(cache=True)
+    def _scratch_multiply_dense(count, sums, moments, count2, sums2, moments2):
+        d = sums.shape[0]
+        for i in range(d):
+            for j in range(d):
+                moments[i, j] = moments[i, j] * count2 + count * moments2[i, j]
+        for i in range(d):
+            si = sums[i]
+            for j in range(d):
+                moments[i, j] += si * sums2[j]
+        for i in range(d):
+            s2i = sums2[i]
+            for j in range(d):
+                moments[i, j] += sums[j] * s2i
+        for i in range(d):
+            sums[i] = sums[i] * count2 + count * sums2[i]
+        return count * count2
+
+    @njit(cache=True)
+    def _net_deltas(mults, slots, deltas):
+        live_delta = 0
+        total_delta = 0.0
+        for index in range(slots.shape[0]):
+            slot = slots[index]
+            delta = deltas[index]
+            before = mults[slot]
+            after = before + delta
+            mults[slot] = after
+            if before == 0.0 and after != 0.0:
+                live_delta += 1
+            elif before != 0.0 and after == 0.0:
+                live_delta -= 1
+            total_delta += delta
+        return live_delta, -live_delta, total_delta
+
+    @njit(cache=True)
+    def _compact_keep(mults):
+        kept = 0
+        for index in range(mults.shape[0]):
+            if mults[index] != 0.0:
+                kept += 1
+        out = np.empty(kept, dtype=np.int64)
+        position = 0
+        for index in range(mults.shape[0]):
+            if mults[index] != 0.0:
+                out[position] = index
+                position += 1
+        return out
+
+    # -- python-side adapters (argument marshalling only) --------------------------
+
+    def segment_sum(counts, sums, moments, codes, size):
+        return _segment_sum(
+            np.ascontiguousarray(counts),
+            np.ascontiguousarray(sums),
+            np.ascontiguousarray(moments),
+            np.ascontiguousarray(codes),
+            size,
+        )
+
+    def lift_sparse(features, weights, positions):
+        return _lift_sparse(
+            np.ascontiguousarray(features),
+            np.ascontiguousarray(weights),
+            np.asarray(positions, dtype=np.int64),
+        )
+
+    def lift_sparse_unit(features, positions):
+        return _lift_sparse_unit(
+            np.ascontiguousarray(features), np.asarray(positions, dtype=np.int64)
+        )
+
+    def multiply_elementwise(counts1, sums1, moments1, counts2, sums2, moments2):
+        return _multiply_elementwise(
+            np.ascontiguousarray(counts1),
+            np.ascontiguousarray(sums1),
+            np.ascontiguousarray(moments1),
+            np.ascontiguousarray(counts2),
+            np.ascontiguousarray(sums2),
+            np.ascontiguousarray(moments2),
+        )
+
+    def multiply_point(counts1, sums1, moments1, counts2, sums_at, moments_at, position):
+        return _multiply_point(
+            np.ascontiguousarray(counts1),
+            np.ascontiguousarray(sums1),
+            np.ascontiguousarray(moments1),
+            np.ascontiguousarray(counts2),
+            np.ascontiguousarray(sums_at),
+            np.ascontiguousarray(moments_at),
+            position,
+        )
+
+    def multiply_lifted(counts1, sums1, moments1, features, weights, positions):
+        return _multiply_lifted(
+            np.ascontiguousarray(counts1),
+            np.ascontiguousarray(sums1),
+            np.ascontiguousarray(moments1),
+            np.ascontiguousarray(features),
+            np.ascontiguousarray(weights),
+            np.asarray(positions, dtype=np.int64),
+        )
+
+    def scratch_reset_lift(sums, moments, multiplicity, pairs):
+        n = len(pairs)
+        positions = np.empty(n, dtype=np.int64)
+        values = np.empty(n)
+        for index, (position, value) in enumerate(pairs):
+            positions[index] = position
+            values[index] = value
+        _scratch_reset_lift(sums, moments, multiplicity, positions, values)
+
+    def scratch_multiply_point(count, sums, moments, count2, sum_at, moment_at, position):
+        return _scratch_multiply_point(
+            count, sums, moments, count2, sum_at, moment_at, position
+        )
+
+    def scratch_multiply_dense(count, sums, moments, count2, sums2, moments2):
+        return _scratch_multiply_dense(
+            count,
+            sums,
+            moments,
+            count2,
+            np.ascontiguousarray(sums2),
+            np.ascontiguousarray(moments2),
+        )
+
+    def net_deltas(mults, slots, deltas):
+        live_delta, zeros_delta, total_delta = _net_deltas(mults, slots, deltas)
+        return int(live_delta), int(zeros_delta), float(total_delta)
+
+    def compact_keep(mults):
+        return _compact_keep(np.ascontiguousarray(mults))
+
+    return {
+        "segment_sum": segment_sum,
+        "lift_sparse": lift_sparse,
+        "lift_sparse_unit": lift_sparse_unit,
+        "multiply_elementwise": multiply_elementwise,
+        "multiply_point": multiply_point,
+        "multiply_lifted": multiply_lifted,
+        "scratch_reset_lift": scratch_reset_lift,
+        "scratch_multiply_point": scratch_multiply_point,
+        "scratch_multiply_dense": scratch_multiply_dense,
+        "net_deltas": net_deltas,
+        "compact_keep": compact_keep,
+    }

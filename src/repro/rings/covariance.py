@@ -27,7 +27,13 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.kernels import get_kernels
 from repro.rings.base import Ring
+
+#: The stable kernel-dispatch singleton: `set_backend` rebinds its
+#: attributes in place, so a module-level binding still sees every switch
+#: while the hot loops skip one function call per kernel invocation.
+_KERNELS = get_kernels()
 
 
 @dataclass
@@ -168,29 +174,20 @@ class PayloadScratch:
     per-tuple path is single-threaded by construction.
     """
 
-    __slots__ = ("count", "sums", "moments")
+    __slots__ = ("count", "sums", "moments", "_view")
 
     def __init__(self, dimension: int) -> None:
         self.count = 0.0
         self.sums = np.zeros(dimension)
         self.moments = np.zeros((dimension, dimension))
+        self._view: Optional["CovarianceBlock"] = None
 
     def reset_lift(self, multiplicity: float, pairs) -> None:
         """Load ``scale(lift(row), multiplicity)``; ``pairs`` lists the
         ``(feature position, value)`` entries of the row's designated
         features (all other coordinates are zero)."""
         self.count = multiplicity
-        sums = self.sums
-        moments = self.moments
-        sums.fill(0.0)
-        moments.fill(0.0)
-        for position, value in pairs:
-            sums[position] = multiplicity * value
-        for row_position, row_value in pairs:
-            row = moments[row_position]
-            weighted = multiplicity * row_value
-            for column_position, column_value in pairs:
-                row[column_position] = weighted * column_value
+        _KERNELS.scratch_reset_lift(self.sums, self.moments, multiplicity, pairs)
 
     def scale_by(self, factor: float) -> None:
         """Ring product with a count-only payload ``(factor, 0, 0)``."""
@@ -202,31 +199,15 @@ class PayloadScratch:
         self, count: float, sum_at: float, moment_at: float, position: int
     ) -> None:
         """Ring product with a payload supported on a single feature."""
-        old_count = self.count
-        sums = self.sums
-        moments = self.moments
-        moments *= count
-        cross = sums * sum_at
-        moments[:, position] += cross
-        moments[position, :] += cross
-        moments[position, position] += old_count * moment_at
-        sums *= count
-        sums[position] += old_count * sum_at
-        self.count = old_count * count
+        self.count = _KERNELS.scratch_multiply_point(
+            self.count, self.sums, self.moments, count, sum_at, moment_at, position
+        )
 
     def multiply_dense(self, count: float, sums2: np.ndarray, moments2: np.ndarray) -> None:
         """General in-place ring product (operand read-only, may alias storage)."""
-        old_count = self.count
-        sums = self.sums
-        moments = self.moments
-        moments *= count
-        moments += old_count * moments2
-        cross = np.outer(sums, sums2)
-        moments += cross
-        moments += cross.T
-        sums *= count
-        sums += old_count * sums2
-        self.count = old_count * count
+        self.count = _KERNELS.scratch_multiply_dense(
+            self.count, self.sums, self.moments, count, sums2, moments2
+        )
 
     def block(self) -> "CovarianceBlock":
         """A one-row :class:`CovarianceBlock` copy (the scratch stays reusable)."""
@@ -235,6 +216,24 @@ class PayloadScratch:
             self.sums[None, :].copy(),
             self.moments[None, :, :].copy(),
         )
+
+    def block_view(self) -> "CovarianceBlock":
+        """A one-row block *aliasing* the scratch buffers — no allocation.
+
+        The preallocated counterpart of :meth:`block` for the per-tuple hot
+        path: one persistent view per scratch, its arrays shared with the
+        live buffers.  Only valid until the next scratch mutation, and the
+        consumer must not write through it — the propagation hop only reads
+        its input block (every derived block is freshly gathered), which is
+        exactly the contract this fast path relies on.
+        """
+        view = self._view
+        if view is None:
+            view = self._view = CovarianceBlock(
+                np.empty(1), self.sums[None, :], self.moments[None, :, :]
+            )
+        view.counts[0] = self.count
+        return view
 
 
 class CovarianceBlock:
@@ -307,20 +306,13 @@ class CovarianceBlock:
             and (len(positions) == 1 or features.shape[0] >= 32)
         )
         if sparse:
-            moments = np.zeros((features.shape[0], dimension, dimension))
             if multiplicities is None:
-                for row in positions:
-                    lifted = features[:, row]
-                    for column in positions:
-                        moments[:, row, column] = lifted * features[:, column]
-                return CovarianceBlock(np.ones(features.shape[0]), features, moments)
+                return CovarianceBlock(
+                    *_KERNELS.lift_sparse_unit(features, positions)
+                )
             weights = np.asarray(multiplicities, dtype=np.float64)
-            for row in positions:
-                lifted = weights * features[:, row]
-                for column in positions:
-                    moments[:, row, column] = lifted * features[:, column]
             return CovarianceBlock(
-                weights.copy(), features * weights[:, None], moments
+                *_KERNELS.lift_sparse(features, weights, positions)
             )
         moments = np.einsum("ki,kj->kij", features, features)
         if multiplicities is None:
@@ -343,14 +335,15 @@ class CovarianceBlock:
 
     def multiply(self, other: "CovarianceBlock") -> "CovarianceBlock":
         """Elementwise ring product: row ``i`` is ``self[i] * other[i]``."""
-        outer = np.einsum("ki,kj->kij", self.sums, other.sums)
         return CovarianceBlock(
-            self.counts * other.counts,
-            other.counts[:, None] * self.sums + self.counts[:, None] * other.sums,
-            other.counts[:, None, None] * self.moments
-            + self.counts[:, None, None] * other.moments
-            + outer
-            + outer.transpose(0, 2, 1),
+            *_KERNELS.multiply_elementwise(
+                self.counts,
+                self.sums,
+                self.moments,
+                other.counts,
+                other.sums,
+                other.moments,
+            )
         )
 
     def multiply_point(
@@ -370,15 +363,17 @@ class CovarianceBlock:
         (basic-index) slicing, and the caller can gather three thin arrays
         instead of a full ``(k, d, d)`` stack.
         """
-        out_counts = self.counts * counts
-        out_sums = self.sums * counts[:, None]
-        out_sums[:, position] += self.counts * sums_at
-        out_moments = self.moments * counts[:, None, None]
-        cross = self.sums * sums_at[:, None]
-        out_moments[:, :, position] += cross
-        out_moments[:, position, :] += cross
-        out_moments[:, position, position] += self.counts * moments_at
-        return CovarianceBlock(out_counts, out_sums, out_moments)
+        return CovarianceBlock(
+            *_KERNELS.multiply_point(
+                self.counts,
+                self.sums,
+                self.moments,
+                counts,
+                sums_at,
+                moments_at,
+                position,
+            )
+        )
 
     def multiply_total(self, other: "CovarianceBlock") -> "CovarianceBlock":
         """``segment-sum-to-one`` of the elementwise product, fused.
@@ -450,19 +445,11 @@ class CovarianceBlock:
         ``(k, d, d)`` einsum.
         """
         weights = np.asarray(multiplicities, dtype=np.float64)
-        counts = self.counts * weights
-        sums = self.sums * weights[:, None]
-        moments = self.moments * weights[:, None, None]
-        base_counts = self.counts
-        base_sums = self.sums
-        for row in positions:
-            lifted = weights * features[:, row]
-            sums[:, row] += base_counts * lifted
-            moments[:, :, row] += base_sums * lifted[:, None]
-            moments[:, row, :] += base_sums * lifted[:, None]
-            for column in positions:
-                moments[:, row, column] += base_counts * lifted * features[:, column]
-        return CovarianceBlock(counts, sums, moments)
+        return CovarianceBlock(
+            *_KERNELS.multiply_lifted(
+                self.counts, self.sums, self.moments, features, weights, positions
+            )
+        )
 
     def scale(self, factors: np.ndarray) -> "CovarianceBlock":
         factors = np.asarray(factors, dtype=np.float64)
@@ -500,27 +487,19 @@ class CovarianceBlock:
     def segment_sum(self, codes: np.ndarray, size: int) -> "CovarianceBlock":
         """Sum the stack rows into ``size`` groups given by ``codes``.
 
-        The rows are sorted by group code once and then reduced with
-        ``np.add.reduceat`` — no per-row Python, and much faster than
-        ``np.add.at`` for wide payloads.  A single target group (the root's
-        empty connection key, the hottest case of the fused delta pass)
-        collapses to three plain column sums.
+        Dispatches to the active :mod:`repro.kernels` backend (numpy:
+        stable sort + ``np.add.reduceat``; numba: sequential accumulation
+        in stable-sort order).  A single target group (the root's empty
+        connection key, the hottest case of the fused delta pass) collapses
+        to three plain column sums instead.
         """
         if size == 1:
             return self.total_block()
-        out = CovarianceBlock.zeros(size, self.dimension)
-        if len(self) == 0:
-            return out
-        order = np.argsort(codes, kind="stable")
-        sorted_codes = codes[order]
-        boundaries = np.concatenate(
-            ([0], np.nonzero(sorted_codes[1:] != sorted_codes[:-1])[0] + 1)
+        return CovarianceBlock(
+            *_KERNELS.segment_sum(
+                self.counts, self.sums, self.moments, codes, size
+            )
         )
-        groups = sorted_codes[boundaries]
-        out.counts[groups] = np.add.reduceat(self.counts[order], boundaries)
-        out.sums[groups] = np.add.reduceat(self.sums[order], boundaries, axis=0)
-        out.moments[groups] = np.add.reduceat(self.moments[order], boundaries, axis=0)
-        return out
 
     def total_block(self) -> "CovarianceBlock":
         """The ring sum of every row, as a one-row block.

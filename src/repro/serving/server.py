@@ -27,6 +27,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, Optional
 
+from repro import kernels
 from repro.aggregates.batch import AggregateBatch
 from repro.engine.lmfao import EngineOptions, LMFAOEngine
 from repro.ivm.base import CovarianceMaintainer, Update
@@ -190,6 +191,15 @@ class QueryServer:
             block["current_generation"] = current.generation
             block["current_prefix"] = current.prefix
             block["current_snapshot_age_s"] = time.perf_counter() - current.created_at
+        block["kernel_backend"] = kernels.current_backend()
+        if kernels.kernel_stats_enabled():
+            # Process-global counters (see repro.kernels) — all zeros unless
+            # enable_kernel_stats()/REPRO_KERNEL_STATS turned counting on.
+            block["kernel_stats"] = {
+                name: counters
+                for name, counters in kernels.kernel_stats().items()
+                if counters["calls"]
+            }
         return block
 
     def close(self) -> None:

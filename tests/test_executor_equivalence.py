@@ -33,6 +33,22 @@ PATHS = {
     "columnar": EngineOptions(specialize=True, columnar=True, share=True),
 }
 
+#: Since PR 8 the interpreted and tuple paths are correctness oracles only:
+#: they define the semantics the columnar path must reproduce, and every
+#: database this suite feeds them stays under this row cap (large-scale
+#: sweeps exclude them — see ``benchmarks/bench_figure6_ablation.py`` and
+#: the demotion note in ``docs/architecture.md``).
+ORACLE_ROW_CAP = 256
+
+
+def _check_oracle_cap(database) -> None:
+    total = sum(len(relation) for relation in database)
+    assert total <= ORACLE_ROW_CAP, (
+        f"oracle-path test database has {total} rows (cap {ORACLE_ROW_CAP}); "
+        "the interpreted/tuple paths are correctness oracles, not engines — "
+        "keep their inputs small"
+    )
+
 
 def _random_database(rng: random.Random) -> Database:
     """A star-plus-chain schema: F(a,b,m) - D1(a,x,c) - E(c,z), F - D2(b,y)."""
@@ -115,6 +131,7 @@ def test_all_executor_paths_identical_on_random_queries(seed):
 
     rng = random.Random(seed)
     database = _random_database(rng)
+    _check_oracle_cap(database)
     query = ConjunctiveQuery(["F", "D1", "D2", "E"])
     batch = _batch()
 

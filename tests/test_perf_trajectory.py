@@ -63,6 +63,37 @@ def test_batch_1_series_is_checked_independently(tmp_path):
     assert cpt.main(["--root", str(tmp_path), "--metric-batch", "100"]) == 0
 
 
+def _rebaseline_report(ratios, baseline_pr=5):
+    return {
+        "figures": {
+            "ivm_rebaseline_bench": {
+                "baseline_pr": baseline_pr,
+                "ratios": {size: ratio for size, ratio in ratios.items()},
+            }
+        }
+    }
+
+
+def test_rebaseline_ratios_are_gated(tmp_path):
+    """A same-machine rebaseline ratio under tolerance fails the check."""
+    good = _rebaseline_report({"1": 1.05, "100": 0.98})
+    lines, violations = cpt.rebaseline_checks([(8, good)], 0.75)
+    assert len(lines) == 2 and not violations
+
+    bad = _rebaseline_report({"1": 0.5, "100": 1.1})
+    _lines, violations = cpt.rebaseline_checks([(8, bad)], 0.75)
+    assert len(violations) == 1 and "batch-1" in violations[0]
+
+    (tmp_path / "BENCH_PR8.json").write_text(json.dumps(bad))
+    assert cpt.main(["--root", str(tmp_path)]) == 1
+    (tmp_path / "BENCH_PR8.json").write_text(json.dumps(good))
+    assert cpt.main(["--root", str(tmp_path)]) == 0
+
+
+def test_reports_without_rebaseline_are_untouched():
+    assert cpt.rebaseline_checks([(5, _report(100.0))], 0.75) == ([], [])
+
+
 def test_main_on_repository_trajectory():
     """The committed BENCH_PR<n>.json files must satisfy the check."""
     assert cpt.main([]) == 0

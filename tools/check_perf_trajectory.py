@@ -19,6 +19,12 @@ The tolerance is multiplicative: PR ``n+1`` must reach at least
 ``tolerance * max(throughput of PRs <= n)``.  The default of 0.75 absorbs
 the single-core container noise observed between recorded runs while still
 catching a real regression (the PR-over-PR gains being asserted are 2x+).
+
+Since PR 8 a report may also carry ``ivm_rebaseline_<scale>`` figures:
+*same-machine* throughput ratios of the current tree against a baseline PR's
+checkout (see ``benchmarks/run_all.py --rebaseline-repo``).  Those ratios are
+machine-independent, so they are gated with the same tolerance — every
+recorded batch size must reach ``tolerance``x the baseline checkout.
 """
 
 from __future__ import annotations
@@ -59,6 +65,37 @@ def fivm_batch_throughput(report, scale: str, batch_size: int):
         return float(record["tuples_per_s"])
     except (KeyError, TypeError, ValueError):
         return None
+
+
+def rebaseline_checks(reports, tolerance: float):
+    """Gate the same-machine rebaseline ratios recorded since PR 8.
+
+    Returns ``(lines, violations)``: one printable line per recorded ratio
+    and one violation message per ratio under ``tolerance``.  Reports
+    without a rebaseline figure contribute nothing (pre-PR-8 files pass
+    through untouched).
+    """
+    lines = []
+    violations = []
+    for pr, report in reports:
+        for key, figure in sorted(report.get("figures", {}).items()):
+            if not key.startswith("ivm_rebaseline") or not isinstance(figure, dict):
+                continue
+            baseline_pr = figure.get("baseline_pr", "?")
+            ratios = figure.get("ratios") or {}
+            for batch_size in sorted(ratios, key=lambda size: int(size)):
+                ratio = float(ratios[batch_size])
+                lines.append(
+                    f"[{key}] PR {pr} vs PR {baseline_pr} batch-{batch_size}: "
+                    f"{ratio:.3f}x same-machine"
+                )
+                if ratio < tolerance:
+                    violations.append(
+                        f"[{key}] PR {pr} batch-{batch_size}: {ratio:.3f}x is "
+                        f"below {tolerance:.0%} of the PR {baseline_pr} "
+                        "checkout on the same machine"
+                    )
+    return lines, violations
 
 
 def check_series(series, tolerance: float):
@@ -112,6 +149,13 @@ def main(argv=None) -> int:
             for violation in check_series(series, arguments.tolerance):
                 failed = True
                 print(f"[{scale}] batch-{batch_size} REGRESSION: {violation}")
+
+    lines, violations = rebaseline_checks(reports, arguments.tolerance)
+    for line in lines:
+        print(line)
+    for violation in violations:
+        failed = True
+        print(f"REGRESSION: {violation}")
 
     if failed:
         return 1
