@@ -52,6 +52,12 @@ absolute throughputs are machine-bound — renames the raw sweep to
 ``ivm_rebaseline`` ratio: pass ``--rebaseline-repo`` a checkout of the
 baseline PR's code (e.g. a git worktree at the PR-5 commit) and both sides
 run through one subprocess harness on the current machine.
+
+Since PR 9 (``--pr 9``) it additionally records the durability figures
+(``durability_bench``, from ``bench_durability.py``): journaled F-IVM
+throughput per sync policy ratioed against the same run's no-journal
+figure (the ``sync="none"`` ratio is gated at 0.9 by the trajectory
+check), plus checkpoint write cost and recovery replay throughput.
 """
 
 from __future__ import annotations
@@ -1120,6 +1126,16 @@ def main() -> None:
             "available": list(_kernels.available_backends()),
         }
 
+    # PR 9: the durability figures (journaling cost per sync policy,
+    # checkpoint write cost, recovery replay throughput).
+    if arguments.pr >= 9:
+        bench_durability = _load_module(
+            "bench_durability", BENCHMARKS_DIR / "bench_durability.py"
+        )
+        report["figures"]["durability_bench"] = bench_durability.run(
+            repeats=arguments.rounds
+        )
+
     large = report["figures"].get("figure4_batches_large", {})
     speedups = [
         entry.get("speedup_vs_seed")
@@ -1183,6 +1199,15 @@ def main() -> None:
         rebaseline = report["figures"].get("ivm_rebaseline_bench")
         if rebaseline is not None:
             report["headline"]["ivm_rebaseline_ratio_vs_pr5"] = rebaseline["ratios"]
+    if arguments.pr >= 9:
+        durability = report["figures"]["durability_bench"]
+        report["headline"]["durability_journal_ratios"] = {
+            sync: entry["ratio_vs_no_journal"]
+            for sync, entry in durability["sync_policies"].items()
+        }
+        report["headline"]["durability_recovery_replay_tuples_per_s"] = (
+            durability["recovery_replay_tuples_per_s"]
+        )
 
     output = Path(
         arguments.output
@@ -1226,6 +1251,13 @@ def main() -> None:
         print(
             "same-machine F-IVM ratio vs baseline checkout: "
             f"{report['headline']['ivm_rebaseline_ratio_vs_pr5']}"
+        )
+    if "durability_journal_ratios" in report.get("headline", {}):
+        print(
+            "journaled/no-journal throughput ratios: "
+            f"{report['headline']['durability_journal_ratios']} "
+            "(recovery replay "
+            f"{report['headline']['durability_recovery_replay_tuples_per_s']} t/s)"
         )
 
 

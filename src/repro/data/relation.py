@@ -255,6 +255,16 @@ class Relation:
             return self._column_store
         return None
 
+    # -- checkpoint pickling -------------------------------------------------------
+
+    def __getstate__(self) -> Dict:
+        """Drop the zero-copy column-store cache: it aliases live buffers of
+        this process and is rebuilt lazily (and cheaply) after a restore."""
+        state = self.__dict__.copy()
+        state["_column_store"] = None
+        state["_column_store_key"] = (-1, -1)
+        return state
+
     # -- derived views -----------------------------------------------------------
 
     def copy(self, name: Optional[str] = None) -> "Relation":

@@ -162,6 +162,17 @@ class _GrowArray:
     def view(self) -> np.ndarray:
         return self.data[: self.size]
 
+    def __getstate__(self) -> Dict:
+        # Checkpoint pickling: persist only the occupied prefix — the
+        # amortised-doubling slack is capacity, not content.
+        return {"data": self.data[: self.size].copy(), "size": self.size}
+
+    def __setstate__(self, state: Dict) -> None:
+        stored = state["data"]
+        self.size = state["size"]
+        self.data = np.empty(max(self.size, 1), dtype=stored.dtype)
+        self.data[: self.size] = stored[: self.size]
+
 
 class _ColumnCodes:
     """One attribute's dictionary encoding, grown in place on every insert.
@@ -190,6 +201,16 @@ class _ColumnCodes:
 
     def append_value(self, value) -> None:
         self.codes.append(self.code_of(value))
+
+    def __getstate__(self) -> Dict:
+        # The inverse index is derivable; rebuilding on load halves the
+        # dictionary bytes a checkpoint carries per column.
+        return {"values": self.values, "codes": self.codes}
+
+    def __setstate__(self, state: Dict) -> None:
+        self.values = state["values"]
+        self.codes = state["codes"]
+        self.index = {value: position for position, value in enumerate(self.values)}
 
     def extend_values(self, raw: Sequence[object]) -> None:
         """Vectorised bulk encode: one ``np.unique`` + one dictionary probe
@@ -699,6 +720,28 @@ class TupleStore:
             else:
                 out.extend(group.pairs)  # type: ignore[arg-type]
         return out
+
+    # -- checkpoint pickling -----------------------------------------------------------
+
+    def __getstate__(self) -> Dict:
+        """Persist logical content; shed process-local machinery.
+
+        Snapshot pins are reader bookkeeping of *this* process — a restored
+        store has no readers, so the pin state resets.  The row index is
+        derivable from the row list and rebuilt on load.
+        """
+        state = {name: getattr(self, name) for name in self.__slots__}
+        del state["_row_index"]
+        state["pins"] = 0
+        state["_pin_floor"] = 0
+        state["_cow_pending"] = False
+        state["_compact_deferred"] = False
+        return state
+
+    def __setstate__(self, state: Dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._row_index = {row: slot for slot, row in enumerate(self._rows)}
 
     # -- copying -----------------------------------------------------------------------
 

@@ -1,0 +1,64 @@
+"""Durability and fault recovery for the maintained engine state (PR 9).
+
+Three pieces (see the module docstrings for the contracts):
+
+- :mod:`repro.durability.journal` — the write-ahead batch journal: every
+  netted ``apply_batch`` group hits an append-only on-disk log *before*
+  propagation, with checksummed framing, torn-tail truncation on open, and
+  a configurable sync policy;
+- :mod:`repro.durability.checkpoint` — epoch-aligned checkpoints of the
+  whole maintainer (relations' TupleStores + view payload state) at a
+  journal sequence number, written atomically and validated on load;
+- :mod:`repro.durability.faults` — the deterministic fault-injection
+  harness: labeled trigger points the durability/serving code consults,
+  firing a raise or a SIGKILL on the Nth call per an installed
+  :class:`~repro.durability.faults.FaultPlan`.
+
+:func:`repro.durability.recovery.recover` ties them together: newest valid
+checkpoint + journal-tail replay through the maintainer's own grouped apply
+path, converging bit-identically to the pre-crash state.
+"""
+
+from repro.durability.checkpoint import Checkpoint, CheckpointError, CheckpointStore
+from repro.durability.faults import (
+    FAULT_POINTS,
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    active_fault_plan,
+    clear_fault_plan,
+    fault_point,
+    install_fault_plan,
+)
+from repro.durability.journal import (
+    SYNC_POLICIES,
+    BatchJournal,
+    JournalError,
+    JournalRecord,
+    decode_record,
+    encode_record,
+)
+from repro.durability.recovery import DurabilityOptions, RecoveryResult, recover
+
+__all__ = [
+    "BatchJournal",
+    "JournalError",
+    "JournalRecord",
+    "SYNC_POLICIES",
+    "encode_record",
+    "decode_record",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointStore",
+    "FAULT_POINTS",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "fault_point",
+    "install_fault_plan",
+    "clear_fault_plan",
+    "active_fault_plan",
+    "DurabilityOptions",
+    "RecoveryResult",
+    "recover",
+]

@@ -1,0 +1,324 @@
+"""The write-ahead batch journal: an append-only on-disk log of netted batches.
+
+Every committed ``apply_batch`` is journaled *before* it propagates: the
+record carries the batch's netted per-relation groups exactly as the
+maintainer applies them — ``(relation_name, rows, multiplicities)`` in
+first-seen order — so a replay through
+:meth:`repro.ivm.base.CovarianceMaintainer.apply_groups` retraces the
+original computation bit for bit (``apply_batch`` itself is defined as
+netting followed by that same grouped path).
+
+Record framing
+--------------
+The file starts with an 8-byte magic (:data:`FILE_MAGIC`).  Each record is::
+
+    <Q seq> <B kind> <I payload_len> <I crc32> <payload bytes>
+
+``seq`` is the journal's own monotonically increasing record number (aborted
+batches burn a sequence number too), ``kind`` is :data:`KIND_BATCH` or
+:data:`KIND_ABORT`, and the CRC covers the header prefix *and* the payload,
+so a torn header is as detectable as a torn payload.  Batch payloads are the
+pickled group list; an abort payload is the 8-byte sequence number of the
+batch it voids (a poison batch that was journaled but failed propagation —
+recovery must not replay it).
+
+Torn-tail detection
+-------------------
+Opening an existing journal scans it record by record; the first record that
+cannot be decoded — short header, short payload, CRC mismatch, out-of-order
+sequence — marks the *torn tail* left by a crash mid-append, and the file is
+truncated back to the last whole record.  Everything before the tear is
+intact by construction (records are only ever appended).
+
+Sync policy
+-----------
+``sync="none"`` leaves records in the process's write buffer (a crash can
+lose the buffered tail — recovery then resumes from an earlier prefix);
+``"batch"`` flushes to the OS page cache per append (survives the process
+dying, not the machine); ``"fsync"`` additionally ``os.fsync``\\ s (survives
+power loss).  The fault points ``journal.append`` (before the write) and
+``journal.sync`` (after the write, before flushing) let the fault-matrix
+suite kill the process on both sides of the durability boundary.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple, Union
+
+from repro.durability.faults import fault_point
+
+__all__ = [
+    "FILE_MAGIC",
+    "KIND_BATCH",
+    "KIND_ABORT",
+    "SYNC_POLICIES",
+    "BatchGroups",
+    "JournalError",
+    "JournalRecord",
+    "BatchJournal",
+    "encode_record",
+    "decode_record",
+]
+
+#: Identifies a journal file (and its format version).
+FILE_MAGIC = b"REPROJL1"
+
+#: Record kinds.
+KIND_BATCH = 0
+KIND_ABORT = 1
+
+#: The supported sync policies, weakest first.
+SYNC_POLICIES = ("none", "batch", "fsync")
+
+_HEADER = struct.Struct("<QBII")
+
+#: A netted batch: ``(relation_name, rows, multiplicities)`` per touched
+#: relation, exactly the shape ``CovarianceMaintainer.net_updates`` produces
+#: and ``apply_groups`` consumes.
+BatchGroups = List[Tuple[str, List[Tuple], List[int]]]
+
+
+class JournalError(RuntimeError):
+    """Raised on malformed journal operations (never on a torn tail)."""
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One decoded journal record."""
+
+    seq: int
+    kind: int
+    groups: Optional[BatchGroups]   # None for abort records
+    aborts: Optional[int] = None    # the voided seq, for abort records
+
+    @property
+    def is_batch(self) -> bool:
+        return self.kind == KIND_BATCH
+
+
+def encode_record(seq: int, kind: int, payload: bytes) -> bytes:
+    """Frame one record: header (seq, kind, length, crc) + payload."""
+    prefix = struct.pack("<QBI", seq, kind, len(payload))
+    crc = zlib.crc32(payload, zlib.crc32(prefix))
+    return _HEADER.pack(seq, kind, len(payload), crc) + payload
+
+
+def decode_record(buffer: bytes, offset: int) -> Optional[Tuple[JournalRecord, int]]:
+    """Decode the record at ``offset``; None when the tail is torn/short.
+
+    Returns ``(record, next_offset)`` for a whole, checksum-valid record.
+    Any inconsistency — a truncated header, a payload shorter than its
+    declared length, a CRC mismatch, an unknown kind, an undecodable batch
+    payload — reads as a torn tail, never as an exception: the journal's
+    recovery contract is "replay every whole record, drop the tear".
+    """
+    end = offset + _HEADER.size
+    if end > len(buffer):
+        return None
+    seq, kind, length, crc = _HEADER.unpack_from(buffer, offset)
+    payload_end = end + length
+    if payload_end > len(buffer):
+        return None
+    payload = buffer[end:payload_end]
+    prefix = struct.pack("<QBI", seq, kind, length)
+    if zlib.crc32(payload, zlib.crc32(prefix)) != crc:
+        return None
+    if kind == KIND_BATCH:
+        try:
+            groups = pickle.loads(payload)
+        except Exception:
+            return None
+        return JournalRecord(seq, kind, groups), payload_end
+    if kind == KIND_ABORT:
+        if length != 8:
+            return None
+        (aborted,) = struct.unpack("<Q", payload)
+        return JournalRecord(seq, kind, None, aborts=aborted), payload_end
+    return None
+
+
+class BatchJournal:
+    """An append-only write-ahead log of netted update batches (one writer).
+
+    Opening an existing file validates the whole record chain and truncates
+    any torn tail (see the module docstring).  All appends go through the
+    single writer thread — the journal has no internal locking.
+    """
+
+    def __init__(self, path: Union[str, Path], sync: str = "batch") -> None:
+        if sync not in SYNC_POLICIES:
+            raise JournalError(
+                f"unknown sync policy {sync!r}; expected one of {SYNC_POLICIES}"
+            )
+        self.path = Path(path)
+        self.sync = sync
+        #: Highest committed (non-aborted, non-voided) batch seq, -1 when none.
+        self.last_seq = -1
+        self._next_seq = 0
+        self._aborted: set = set()
+        self.appended = 0       # batch records appended by this handle
+        self.aborts = 0         # abort records appended by this handle
+        self.truncated_bytes = 0  # torn tail dropped at open
+        self._open()
+
+    # -- opening / torn-tail recovery --------------------------------------------------
+
+    def _open(self) -> None:
+        exists = self.path.exists()
+        if not exists:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = open(self.path, "w+b")
+            self._file.write(FILE_MAGIC)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            return
+        buffer = self.path.read_bytes()
+        valid = len(FILE_MAGIC)
+        if buffer[:valid] != FILE_MAGIC:
+            raise JournalError(
+                f"{self.path} is not a batch journal (bad magic "
+                f"{buffer[:valid]!r})"
+            )
+        offset = valid
+        expected = 0
+        while True:
+            decoded = decode_record(buffer, offset)
+            if decoded is None:
+                break
+            record, offset = decoded
+            if record.seq != expected:
+                # A sequence discontinuity can only come from a tear that
+                # happens to checksum (vanishingly unlikely) or file-level
+                # corruption; either way nothing after it is trustworthy.
+                break
+            expected = record.seq + 1
+            valid = offset
+            if record.kind == KIND_ABORT:
+                self._aborted.add(record.aborts)
+            elif record.seq not in self._aborted:
+                self.last_seq = record.seq
+        self._next_seq = expected
+        self.truncated_bytes = len(buffer) - valid
+        self._file = open(self.path, "r+b")
+        if self.truncated_bytes:
+            self._file.truncate(valid)
+        self._file.seek(valid)
+
+    # -- the writer side ---------------------------------------------------------------
+
+    def append(self, groups: BatchGroups) -> int:
+        """Journal one netted batch; returns its sequence number.
+
+        The record is written (and synced per policy) *before* the caller
+        propagates the batch — write-ahead by construction.
+        """
+        fault_point("journal.append")
+        seq = self._next_seq
+        payload = pickle.dumps(groups, protocol=4)
+        self._file.write(encode_record(seq, KIND_BATCH, payload))
+        self._next_seq = seq + 1
+        self.appended += 1
+        self._sync()
+        self.last_seq = seq
+        return seq
+
+    def abort(self, seq: int) -> int:
+        """Void a journaled batch whose propagation failed (poison quarantine).
+
+        Recovery (and this handle's own bookkeeping) will skip the voided
+        record.  The abort itself burns a sequence number and is synced
+        with the same policy as batch records.
+        """
+        fault_point("journal.append")
+        abort_seq = self._next_seq
+        self._file.write(encode_record(abort_seq, KIND_ABORT, struct.pack("<Q", seq)))
+        self._next_seq = abort_seq + 1
+        self.aborts += 1
+        self._aborted.add(seq)
+        if self.last_seq == seq:
+            self.last_seq = self._highest_committed()
+        self._sync()
+        return abort_seq
+
+    def _highest_committed(self) -> int:
+        for record in reversed(list(self.records())):
+            if record.is_batch and record.seq not in self._aborted:
+                return record.seq
+        return -1
+
+    def _sync(self) -> None:
+        fault_point("journal.sync")
+        if self.sync == "none":
+            return
+        self._file.flush()
+        if self.sync == "fsync":
+            os.fsync(self._file.fileno())
+
+    # -- the reader side ---------------------------------------------------------------
+
+    def records(self) -> Iterator[JournalRecord]:
+        """Every whole record on disk plus this handle's unflushed tail.
+
+        Reads through a fresh handle so the writer's position is untouched;
+        the writer's own buffered (not yet flushed) records are decoded from
+        the buffer state by flushing first — a single-writer journal may
+        always flush its own buffer.
+        """
+        self._file.flush()
+        buffer = self.path.read_bytes()
+        offset = len(FILE_MAGIC)
+        expected = 0
+        while True:
+            decoded = decode_record(buffer, offset)
+            if decoded is None:
+                return
+            record, offset = decoded
+            if record.seq != expected:
+                return
+            expected = record.seq + 1
+            yield record
+
+    def replay(self, after_seq: int = -1) -> Iterator[JournalRecord]:
+        """Committed batch records with ``seq > after_seq``, aborted ones skipped."""
+        aborted = {
+            record.aborts for record in self.records() if record.kind == KIND_ABORT
+        }
+        for record in self.records():
+            if record.is_batch and record.seq > after_seq and record.seq not in aborted:
+                yield record
+
+    # -- introspection / lifecycle -----------------------------------------------------
+
+    @property
+    def next_seq(self) -> int:
+        return self._next_seq
+
+    def size_bytes(self) -> int:
+        """Bytes written so far (buffered tail included)."""
+        return self._file.tell()
+
+    def close(self) -> None:
+        file = getattr(self, "_file", None)
+        if file is not None and not file.closed:
+            if self.sync != "none":
+                file.flush()
+            file.close()
+
+    def __enter__(self) -> "BatchJournal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchJournal({str(self.path)!r}, sync={self.sync!r}, "
+            f"last_seq={self.last_seq})"
+        )

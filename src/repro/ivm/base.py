@@ -370,16 +370,27 @@ class CovarianceMaintainer(abc.ABC):
         """Apply a stream of updates, propagating whole per-relation deltas.
 
         The batch is netted out per (relation, row) — an insert/delete pair
-        inside one batch cancels — and grouped per relation.  Strategies
-        flagging ``supports_fused_deltas`` receive *all* groups at once
-        through ``_apply_multi_delta`` (one leaf-to-root traversal for the
-        whole batch); otherwise each group is applied through the vectorised
-        ``_apply_delta_group`` (one delta propagation per touched relation).
-        Either way the groups' rows then land in the base relations and the
-        per-relation after-hooks keep the incremental indexes in sync.
-        Strategies without a batched path, and single-update batches, fall
-        back to the per-tuple :meth:`apply`.
+        inside one batch cancels — and grouped per relation, with every
+        update's arity validated *before* anything is applied (an invalid
+        update anywhere in the batch leaves the maintainer untouched).
+        Strategies flagging ``supports_fused_deltas`` receive *all* groups at
+        once through ``_apply_multi_delta`` (one leaf-to-root traversal for
+        the whole batch); otherwise each group is applied through the
+        vectorised ``_apply_delta_group`` (one delta propagation per touched
+        relation).  Either way the groups' rows then land in the base
+        relations and the per-relation after-hooks keep the incremental
+        indexes in sync.  Strategies without a batched path, and batches
+        netting to a single row, fall back to the per-tuple :meth:`apply`
+        over the *netted* pairs — the same rule :meth:`apply_groups` uses, so
+        ``apply_batch(U)`` and ``apply_groups(net_updates(U))`` retrace the
+        identical computation (the durability journal relies on this for
+        bit-identical replay).
+
+        Kernel-stat deltas fold into ``executor_stats`` and the writer gate
+        releases in ``finally`` blocks, so a raising batch neither loses its
+        partial counters nor wedges future writers.
         """
+        batch = list(updates)
         if not self._writer_gate.acquire(blocking=False):
             raise RuntimeError(
                 "concurrent writers: CovarianceMaintainer.apply_batch is "
@@ -388,10 +399,90 @@ class CovarianceMaintainer(abc.ABC):
             )
         try:
             before = kernel_stats() if kernel_stats_enabled() else None
-            applied = self._apply_batch_locked(list(updates))
-            if before is not None:
-                self._merge_kernel_stats(before)
-            return applied
+            try:
+                self._apply_groups_locked(self.net_updates(batch))
+            finally:
+                if before is not None:
+                    self._merge_kernel_stats(before)
+            return len(batch)
+        finally:
+            self._writer_gate.release()
+
+    def net_updates(
+        self, updates: Iterable[Update]
+    ) -> List[Tuple[str, List[Tuple], List[int]]]:
+        """Net a batch per (relation, row) and validate every update up front.
+
+        Returns ``(relation_name, rows, multiplicities)`` groups — relations
+        in first-touched order, rows in first-seen order, zero-netting rows
+        dropped — the exact shape :meth:`apply_groups` consumes and the
+        write-ahead journal records.  Raises (without side effects) if any
+        update's arity disagrees with its relation's schema.
+        """
+        arities: Dict[str, int] = {}
+        grouped: Dict[str, Dict[Tuple, int]] = {}
+        grouped_get = grouped.get
+        for update in updates:
+            name = update.relation_name
+            row = update.row
+            bucket = grouped_get(name)
+            if bucket is None:
+                bucket = grouped[name] = {}
+                arities[name] = self.database.relation(name).arity
+            if len(row) != arities[name]:
+                self._validate(update)  # raises with the detailed message
+            bucket[row] = bucket.get(row, 0) + update.multiplicity
+        groups: List[Tuple[str, List[Tuple], List[int]]] = []
+        for relation_name, bucket in grouped.items():
+            rows: List[Tuple] = []
+            netted: List[int] = []
+            for row, multiplicity in bucket.items():
+                if multiplicity != 0:
+                    rows.append(row)
+                    netted.append(multiplicity)
+            if rows:
+                groups.append((relation_name, rows, netted))
+        return groups
+
+    def apply_groups(
+        self,
+        groups: Iterable[Tuple[str, Sequence[Tuple], Sequence[int]]],
+        validated: bool = False,
+    ) -> int:
+        """Apply already-netted per-relation groups (the journal replay path).
+
+        ``groups`` is the shape :meth:`net_updates` produces; applying them
+        here runs exactly the code path :meth:`apply_batch` would have run on
+        the original batch, so replaying journaled groups reproduces the
+        original maintainer state bit for bit.  Returns the number of netted
+        rows applied.
+
+        ``validated=True`` skips the row/multiplicity normalization — only
+        for groups that came straight out of this maintainer's own
+        :meth:`net_updates` (the durable server's write path); journal replay
+        and any hand-built groups must keep the default.
+        """
+        if validated:
+            prepared = groups if isinstance(groups, list) else list(groups)
+        else:
+            prepared = [
+                (name, [tuple(row) for row in rows], [int(m) for m in netted])
+                for name, rows, netted in groups
+            ]
+        if not self._writer_gate.acquire(blocking=False):
+            raise RuntimeError(
+                "concurrent writers: CovarianceMaintainer.apply_groups is "
+                "single-writer; serialize updates through one thread "
+                "(e.g. QueryServer.apply_batch)"
+            )
+        try:
+            before = kernel_stats() if kernel_stats_enabled() else None
+            try:
+                self._apply_groups_locked(prepared)
+            finally:
+                if before is not None:
+                    self._merge_kernel_stats(before)
+            return sum(len(rows) for _name, rows, _netted in prepared)
         finally:
             self._writer_gate.release()
 
@@ -415,54 +506,42 @@ class CovarianceMaintainer(abc.ABC):
                 stats.get(ns_key, 0) + counters["ns"] - before[name]["ns"]
             )
 
-    def _apply_batch_locked(self, updates: List[Update]) -> int:
-        if len(updates) < 2 or not self.supports_batch_deltas:
-            for update in updates:
-                self.apply(update)
-            return len(updates)
-        arities: Dict[str, int] = {}
-        grouped: Dict[str, Dict[Tuple, int]] = {}
-        grouped_get = grouped.get
-        for update in updates:
-            name = update.relation_name
-            row = update.row
-            bucket = grouped_get(name)
-            if bucket is None:
-                bucket = grouped[name] = {}
-                arities[name] = self.database.relation(name).arity
-            if len(row) != arities[name]:
-                self._validate(update)  # raises with the detailed message
-            bucket[row] = bucket.get(row, 0) + update.multiplicity
-        groups: List[Tuple[str, List[Tuple], List[int], np.ndarray]] = []
-        for relation_name, bucket in grouped.items():
-            rows: List[Tuple] = []
-            netted: List[int] = []
-            for row, multiplicity in bucket.items():
-                if multiplicity != 0:
-                    rows.append(row)
-                    netted.append(multiplicity)
-            if not rows:
-                continue
-            groups.append(
-                (relation_name, rows, netted, np.asarray(netted, dtype=np.float64))
-            )
-        if self.supports_fused_deltas and groups:
+    def _apply_groups_locked(
+        self, groups: List[Tuple[str, List[Tuple], List[int]]]
+    ) -> None:
+        """Propagate netted groups; the single dispatch point both
+        :meth:`apply_batch` and :meth:`apply_groups` funnel through.
+
+        The fallback rule keys on the *netted* row count (not the raw batch
+        length), so netting a batch and replaying its groups later picks the
+        same code path — a precondition for bit-identical journal replay.
+        """
+        total_rows = sum(len(rows) for _name, rows, _netted in groups)
+        if total_rows < 2 or not self.supports_batch_deltas:
+            for relation_name, rows, netted in groups:
+                for row, multiplicity in zip(rows, netted):
+                    self.apply(Update(relation_name, row, multiplicity))
+            return
+        prepared = [
+            (name, rows, netted, np.asarray(netted, dtype=np.float64))
+            for name, rows, netted in groups
+        ]
+        if self.supports_fused_deltas:
             self._apply_multi_delta(
-                [(name, rows, floats) for name, rows, _netted, floats in groups]
+                [(name, rows, floats) for name, rows, _netted, floats in prepared]
             )
-            for relation_name, rows, netted, multiplicities in groups:
+            for relation_name, rows, netted, multiplicities in prepared:
                 self.database.relation(relation_name).add_batch(
                     rows, netted, validated=True
                 )
                 self._after_delta_group(relation_name, rows, multiplicities)
-            return len(updates)
-        for relation_name, rows, netted, multiplicities in groups:
+            return
+        for relation_name, rows, netted, multiplicities in prepared:
             self._apply_delta_group(relation_name, rows, multiplicities)
             self.database.relation(relation_name).add_batch(
                 rows, netted, validated=True
             )
             self._after_delta_group(relation_name, rows, multiplicities)
-        return len(updates)
 
     @abc.abstractmethod
     def _apply_update(self, update: Update) -> None:
@@ -501,6 +580,18 @@ class CovarianceMaintainer(abc.ABC):
         later groups and per-tuple updates see the applied delta without an
         O(rows) index rebuild.
         """
+
+    # -- durability support ---------------------------------------------------------------
+
+    def __getstate__(self) -> Dict:
+        """Checkpoint pickling: the writer gate is process-local, drop it."""
+        state = self.__dict__.copy()
+        state.pop("_writer_gate", None)
+        return state
+
+    def __setstate__(self, state: Dict) -> None:
+        self.__dict__.update(state)
+        self._writer_gate = threading.RLock()
 
     # -- columnar delta helpers -----------------------------------------------------------
 

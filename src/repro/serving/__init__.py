@@ -6,7 +6,7 @@ See :mod:`repro.serving.snapshots` for the epoch-generation lifecycle,
 """
 
 from repro.serving.metrics import ServingStats, percentile
-from repro.serving.server import QueryServer, ReadResult
+from repro.serving.server import PoisonBatchError, QueryServer, ReadResult
 from repro.serving.snapshots import (
     Snapshot,
     SnapshotDatabase,
@@ -15,6 +15,7 @@ from repro.serving.snapshots import (
 )
 
 __all__ = [
+    "PoisonBatchError",
     "QueryServer",
     "ReadResult",
     "ServingStats",

@@ -34,10 +34,17 @@ class ServingStats:
         self._read_latencies = deque(maxlen=window)
         self._snapshot_ages = deque(maxlen=window)
         self._writer_lags = deque(maxlen=window)
+        self._journal_lags = deque(maxlen=window)
         self._reads_per_generation: Dict[int, int] = {}
         self._reads = 0
         self._writes = 0
         self._tuples_written = 0
+        self._read_errors = 0
+        self._quarantined = 0
+        self._journal_bytes = 0
+        self._checkpoints = 0
+        self._checkpoint_last_seconds = 0.0
+        self._checkpoint_last_bytes = 0
 
     # -- recording ---------------------------------------------------------------------
 
@@ -55,6 +62,28 @@ class ServingStats:
             self._writer_lags.append(batch_lag_s)
             self._tuples_written += tuples
 
+    def record_read_error(self) -> None:
+        """A reader raised; its snapshot pin was released in the finally."""
+        with self._lock:
+            self._read_errors += 1
+
+    def record_quarantine(self) -> None:
+        """A poison batch was rolled back and voided in the journal."""
+        with self._lock:
+            self._quarantined += 1
+
+    def record_journal_append(self, lag_s: float, bytes_written: int) -> None:
+        """One write-ahead journal append: time spent and bytes added."""
+        with self._lock:
+            self._journal_lags.append(lag_s)
+            self._journal_bytes += bytes_written
+
+    def record_checkpoint(self, seconds: float, size_bytes: int) -> None:
+        with self._lock:
+            self._checkpoints += 1
+            self._checkpoint_last_seconds = seconds
+            self._checkpoint_last_bytes = size_bytes
+
     # -- reporting ---------------------------------------------------------------------
 
     def snapshot(self, active_generations: Optional[int] = None) -> Dict[str, object]:
@@ -63,14 +92,29 @@ class ServingStats:
             latencies = list(self._read_latencies)
             ages = list(self._snapshot_ages)
             lags = list(self._writer_lags)
+            journal_lags = list(self._journal_lags)
             per_generation = list(self._reads_per_generation.values())
             reads = self._reads
             writes = self._writes
             tuples_written = self._tuples_written
+            read_errors = self._read_errors
+            quarantined = self._quarantined
+            journal_bytes = self._journal_bytes
+            checkpoints = self._checkpoints
+            checkpoint_last_seconds = self._checkpoint_last_seconds
+            checkpoint_last_bytes = self._checkpoint_last_bytes
         block: Dict[str, object] = {
             "reads": reads,
             "writes": writes,
             "tuples_written": tuples_written,
+            "read_errors": read_errors,
+            "quarantined_batches": quarantined,
+            "journal_append_p50_s": percentile(journal_lags, 0.50),
+            "journal_append_p99_s": percentile(journal_lags, 0.99),
+            "journal_bytes_written": journal_bytes,
+            "checkpoints_written": checkpoints,
+            "checkpoint_last_write_s": checkpoint_last_seconds,
+            "checkpoint_last_size_bytes": checkpoint_last_bytes,
             "read_latency_p50_s": percentile(latencies, 0.50),
             "read_latency_p99_s": percentile(latencies, 0.99),
             "snapshot_age_p50_s": percentile(ages, 0.50),

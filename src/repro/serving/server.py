@@ -29,12 +29,34 @@ from typing import Dict, Iterable, Optional
 
 from repro import kernels
 from repro.aggregates.batch import AggregateBatch
+from repro.durability.checkpoint import CheckpointStore
+from repro.durability.faults import fault_point
+from repro.durability.journal import BatchJournal
+from repro.durability.recovery import DurabilityOptions, recover as durability_recover
 from repro.engine.lmfao import EngineOptions, LMFAOEngine
 from repro.ivm.base import CovarianceMaintainer, Update
 from repro.serving.metrics import ServingStats
 from repro.serving.snapshots import Snapshot, SnapshotManager
 
-__all__ = ["ReadResult", "QueryServer"]
+__all__ = ["ReadResult", "PoisonBatchError", "QueryServer"]
+
+
+class PoisonBatchError(RuntimeError):
+    """A batch was quarantined: validation or propagation raised.
+
+    With durability enabled the maintainer was rolled back to its pre-batch
+    state (checkpoint + journal replay, the journal record voided by an
+    abort record); without it the batch failed validation before touching
+    anything.  Either way the server stays writable and the published
+    snapshot stream is intact.  ``seq`` is the voided journal sequence
+    number (-1 when the batch never reached the journal) and ``cause`` the
+    original exception.
+    """
+
+    def __init__(self, seq: int, cause: BaseException) -> None:
+        super().__init__(f"batch quarantined (journal seq {seq}): {cause!r}")
+        self.seq = seq
+        self.cause = cause
 
 
 @dataclass
@@ -66,10 +88,24 @@ class QueryServer:
         maintainer: CovarianceMaintainer,
         options: Optional[EngineOptions] = None,
         readers: int = 4,
+        durability: Optional[DurabilityOptions] = None,
+        _start_prefix: int = 0,
     ) -> None:
         self.maintainer = maintainer
         self.manager = SnapshotManager(maintainer.database)
         self.stats = ServingStats()
+        self.durability = durability
+        self._journal: Optional[BatchJournal] = None
+        self._checkpoints: Optional[CheckpointStore] = None
+        self._batches_since_checkpoint = 0
+        if durability is not None:
+            self._journal = BatchJournal(durability.journal_path, sync=durability.sync)
+            self._checkpoints = CheckpointStore(
+                durability.checkpoint_directory, keep=durability.keep_checkpoints
+            )
+            # The seed checkpoint: every recovery has a base state to replay
+            # the journal tail into, even before the first periodic one.
+            self._checkpoints.write(maintainer, self._journal.last_seq, _start_prefix)
         base = options or EngineOptions()
         self._reader_options = replace(
             base,
@@ -86,31 +122,131 @@ class QueryServer:
         )
         self._local = threading.local()
         self._writer_lock = threading.Lock()
-        self._prefix = 0
+        self._prefix = _start_prefix
         self._closed = False
         # Publish the initial generation so reads never race the first write.
-        self.manager.publish(self.maintainer.statistics(), prefix=0)
+        self.manager.publish(self.maintainer.statistics(), prefix=self._prefix)
+
+    # -- durable construction ----------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        durability: DurabilityOptions,
+        maintainer_factory=None,
+        options: Optional[EngineOptions] = None,
+        readers: int = 4,
+    ) -> "QueryServer":
+        """Rebuild a server from a durability directory after a crash.
+
+        Loads the newest valid checkpoint, replays the journal tail through
+        the maintainer's grouped apply path (see
+        :func:`repro.durability.recovery.recover`), and serves the recovered
+        state — bit-identical to the committed prefix the sync policy
+        preserved.  ``maintainer_factory`` builds the empty maintainer only
+        when no checkpoint exists (a durable server always seeds one, so
+        this covers journals created outside a server).
+        """
+        result = durability_recover(durability, maintainer_factory)
+        return cls(
+            result.maintainer,
+            options=options,
+            readers=readers,
+            durability=durability,
+            _start_prefix=result.prefix,
+        )
 
     # -- the writer path ---------------------------------------------------------------
 
     def apply_batch(self, updates: Iterable[Update]) -> int:
-        """Apply one update batch and publish the resulting generation.
+        """Apply one update batch, journal-first, and publish the generation.
 
         The single writer path: concurrent callers serialize on the writer
         lock (and the maintainer's own writer gate would reject any path
         that bypassed it).  Readers keep serving the previous generation
         until the publish completes.
+
+        With durability enabled the batch is netted and validated up front,
+        journaled *before* propagation (write-ahead), and applied through
+        the same grouped path recovery replays.  A batch whose validation
+        or propagation raises is quarantined — rolled back, voided in the
+        journal, counted in ``serving_stats()["quarantined_batches"]`` —
+        and surfaces as :class:`PoisonBatchError`; the server stays
+        writable and the snapshot stream intact either way.
         """
         if self._closed:
             raise RuntimeError("QueryServer is closed")
         updates = list(updates)
         start = time.perf_counter()
         with self._writer_lock:
-            applied = self.maintainer.apply_batch(updates)
+            if self._journal is None:
+                try:
+                    self.maintainer.apply_batch(updates)
+                except Exception as error:
+                    # apply_batch validates before mutating, so the state is
+                    # intact; nothing is republished and the writer gate was
+                    # released in the maintainer's finally.
+                    self.stats.record_quarantine()
+                    raise PoisonBatchError(-1, error) from error
+            else:
+                try:
+                    groups = self.maintainer.net_updates(updates)
+                except Exception as error:
+                    self.stats.record_quarantine()
+                    raise PoisonBatchError(-1, error) from error
+                journal_start = time.perf_counter()
+                size_before = self._journal.size_bytes()
+                seq = self._journal.append(groups)
+                self.stats.record_journal_append(
+                    time.perf_counter() - journal_start,
+                    self._journal.size_bytes() - size_before,
+                )
+                try:
+                    # The groups came from this maintainer's own net_updates,
+                    # so the normalization pass can be skipped.
+                    self.maintainer.apply_groups(groups, validated=True)
+                except Exception as error:
+                    self._quarantine(seq, error)
             self._prefix += 1
             self.manager.publish(self.maintainer.statistics(), prefix=self._prefix)
+            self._maybe_checkpoint()
         self.stats.record_write(time.perf_counter() - start, len(updates))
-        return applied
+        return len(updates)
+
+    def _quarantine(self, seq: int, error: BaseException) -> None:
+        """Roll a poison batch back and void its journal record.
+
+        Propagation may have raised mid-pass, leaving the maintainer's views
+        partially mutated — and float propagation has no exact inverse — so
+        the rollback rebuilds the whole maintainer from the latest checkpoint
+        plus the journal tail (the poison record is aborted first and skipped
+        by replay).  Published generations keep serving their pinned arrays
+        of the old relation objects; the snapshot manager is rebound so the
+        next publish cuts from the recovered database.
+        """
+        assert self._journal is not None and self.durability is not None
+        self._journal.abort(seq)
+        result = durability_recover(self.durability, journal=self._journal)
+        self.maintainer = result.maintainer
+        self.manager.rebind(self.maintainer.database)
+        self.stats.record_quarantine()
+        raise PoisonBatchError(seq, error) from error
+
+    def _maybe_checkpoint(self) -> None:
+        if self._checkpoints is None or self.durability is None:
+            return
+        interval = self.durability.checkpoint_interval
+        if interval <= 0:
+            return
+        self._batches_since_checkpoint += 1
+        if self._batches_since_checkpoint < interval:
+            return
+        assert self._journal is not None
+        self._checkpoints.write(self.maintainer, self._journal.last_seq, self._prefix)
+        self._batches_since_checkpoint = 0
+        self.stats.record_checkpoint(
+            self._checkpoints.last_write_seconds, self._checkpoints.last_size_bytes
+        )
 
     @property
     def prefix(self) -> int:
@@ -143,9 +279,17 @@ class QueryServer:
         snapshot = self.manager.acquire()
         prefix = snapshot.prefix
         try:
-            engine = self._engine_for(snapshot)
-            result = engine.evaluate(batch)
-            value: Dict[str, object] = dict(result.values)
+            # Any raise below — engine evaluation, the injected reader
+            # fault — must still release the pinned generation, or a
+            # superseded generation's arrays leak forever.
+            try:
+                fault_point("reader.query")
+                engine = self._engine_for(snapshot)
+                result = engine.evaluate(batch)
+                value: Dict[str, object] = dict(result.values)
+            except BaseException:
+                self.stats.record_read_error()
+                raise
         finally:
             self.manager.release(snapshot)
         latency = time.perf_counter() - start
@@ -158,8 +302,13 @@ class QueryServer:
         snapshot = self.manager.acquire()
         prefix = snapshot.prefix
         try:
-            payload = snapshot.statistics
-            value = payload.copy() if payload is not None else None
+            try:
+                fault_point("reader.query")
+                payload = snapshot.statistics
+                value = payload.copy() if payload is not None else None
+            except BaseException:
+                self.stats.record_read_error()
+                raise
         finally:
             self.manager.release(snapshot)
         latency = time.perf_counter() - start
@@ -192,6 +341,12 @@ class QueryServer:
             block["current_prefix"] = current.prefix
             block["current_snapshot_age_s"] = time.perf_counter() - current.created_at
         block["kernel_backend"] = kernels.current_backend()
+        block["durability_enabled"] = self._journal is not None
+        if self._journal is not None:
+            block["journal_sync"] = self._journal.sync
+            block["journal_last_seq"] = self._journal.last_seq
+            block["journal_size_bytes"] = self._journal.size_bytes()
+            block["checkpoint_lag_batches"] = self._batches_since_checkpoint
         if kernels.kernel_stats_enabled():
             # Process-global counters (see repro.kernels) — all zeros unless
             # enable_kernel_stats()/REPRO_KERNEL_STATS turned counting on.
@@ -208,6 +363,16 @@ class QueryServer:
         self._closed = True
         self._pool.shutdown(wait=True)
         self.manager.close()
+        if self._journal is not None:
+            # A clean shutdown checkpoints the final state so the next
+            # recovery replays nothing; crashes skip this path by definition
+            # and fall back to the last periodic (or seed) checkpoint.
+            with self._writer_lock:
+                if self._checkpoints is not None:
+                    self._checkpoints.write(
+                        self.maintainer, self._journal.last_seq, self._prefix
+                    )
+                self._journal.close()
 
     def __enter__(self) -> "QueryServer":
         return self

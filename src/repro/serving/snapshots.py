@@ -35,6 +35,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.data.database import Database
 from repro.data.relation import Relation
+from repro.durability.faults import fault_point
 
 __all__ = ["SnapshotRelation", "SnapshotDatabase", "Snapshot", "SnapshotManager"]
 
@@ -183,6 +184,7 @@ class SnapshotManager:
         self._next_generation = 0
         self._published = 0
         self._retired = 0
+        self._force_next_publish = False
 
     # -- the writer side ---------------------------------------------------------------
 
@@ -196,15 +198,21 @@ class SnapshotManager:
         fully cancelling batch), the current generation is reused and only
         its prefix advances.
         """
+        fault_point("snapshot.publish")
         with self._lock:
             database = self._database
             current = self._current
             for relation in database:
                 relation.compact_storage()
             keys = {relation.name: relation.storage_key for relation in database}
-            if current is not None and keys == current.keys:
+            if (
+                current is not None
+                and keys == current.keys
+                and not self._force_next_publish
+            ):
                 current.prefix = prefix
                 return current
+            self._force_next_publish = False
             relations: Dict[str, SnapshotRelation] = {}
             pinned: List[Relation] = []
             for relation in database:
@@ -229,6 +237,22 @@ class SnapshotManager:
             if current is not None:
                 self._release_locked(current)
             return snapshot
+
+    def rebind(self, database: Database) -> None:
+        """Swap the live database under the manager (quarantine rollback).
+
+        Writer-side only.  After a poison batch the server replaces the
+        whole maintainer with a state rebuilt from checkpoint + journal;
+        the manager must then cut future generations from the replacement
+        database.  The current generation keeps serving its pinned snapshot
+        of the *old* relations — pinned arrays are immutable and the old
+        relation objects stay alive through the snapshot's pin list — and
+        the next publish is forced to cut a fresh generation even if the
+        replacement's storage keys happen to collide with the current ones.
+        """
+        with self._lock:
+            self._database = database
+            self._force_next_publish = True
 
     # -- the reader side ---------------------------------------------------------------
 

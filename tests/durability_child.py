@@ -1,0 +1,72 @@
+"""Subprocess driver for the fault matrix (see ``test_fault_matrix.py``).
+
+Runs a durable :class:`~repro.serving.QueryServer` over a deterministic
+cancel-heavy update stream with a kill fault installed at one labeled
+trigger point; the parent test asserts the process died by SIGKILL and that
+checkpoint + journal recovery lands bit-identically on a committed prefix
+of the same stream.  The stream/database constants live here so the parent
+and the child derive the *same* batches without any channel between them.
+"""
+
+import sys
+
+from repro.datasets import retailer_database, retailer_query
+from repro.durability import (
+    DurabilityOptions,
+    FaultPlan,
+    FaultSpec,
+    install_fault_plan,
+)
+from repro.ivm import FIVM
+from repro.serving import QueryServer
+from streams import random_update_stream
+
+FEATURES = ["inventoryunits", "prize", "maxtemp"]
+DB_KWARGS = dict(inventory_rows=80, stores=4, items=8, dates=6, seed=21)
+STREAM_SEED = 97
+STREAM_LENGTH = 1000
+CANCEL_FRACTION = 0.35
+BATCH = 50
+CHECKPOINT_INTERVAL = 4
+
+
+def build_database():
+    return retailer_database(**DB_KWARGS)
+
+
+def build_maintainer(database=None):
+    if database is None:
+        database = build_database()
+    return FIVM(database, retailer_query(), FEATURES)
+
+
+def batches(database):
+    stream = random_update_stream(
+        database,
+        seed=STREAM_SEED,
+        length=STREAM_LENGTH,
+        cancel_fraction=CANCEL_FRACTION,
+    )
+    return [stream[start : start + BATCH] for start in range(0, len(stream), BATCH)]
+
+
+def main() -> None:
+    directory, sync, point, at_call = sys.argv[1:5]
+    options = DurabilityOptions(
+        directory, sync=sync, checkpoint_interval=CHECKPOINT_INTERVAL
+    )
+    database = build_database()
+    install_fault_plan(
+        FaultPlan([FaultSpec(point, at_call=int(at_call), action="kill")])
+    )
+    server = QueryServer(build_maintainer(database), durability=options, readers=1)
+    for batch in batches(database):
+        server.apply_batch(batch)
+    # Only reached when the fault never fired — the parent treats that as a
+    # miscalibrated at_call and fails loudly.
+    print("COMPLETED", server.prefix, flush=True)
+    server.close()
+
+
+if __name__ == "__main__":
+    main()

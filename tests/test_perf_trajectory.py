@@ -94,6 +94,47 @@ def test_reports_without_rebaseline_are_untouched():
     assert cpt.rebaseline_checks([(5, _report(100.0))], 0.75) == ([], [])
 
 
+def _durability_report(none_ratio, batch_ratio=0.85, fsync_ratio=0.4):
+    return {
+        "figures": {
+            "durability_bench": {
+                "sync_policies": {
+                    "none": {"ratio_vs_no_journal": none_ratio},
+                    "batch": {"ratio_vs_no_journal": batch_ratio},
+                    "fsync": {"ratio_vs_no_journal": fsync_ratio},
+                }
+            }
+        }
+    }
+
+
+def test_durability_none_ratio_is_gated(tmp_path):
+    """sync='none' journaling must stay within 10% of no-journal; the
+    flushing policies are reported but never gated."""
+    good = _durability_report(0.95)
+    lines, violations = cpt.durability_checks([(9, good)], 0.9)
+    assert len(lines) == 3 and not violations
+
+    bad = _durability_report(0.7)
+    _lines, violations = cpt.durability_checks([(9, bad)], 0.9)
+    assert len(violations) == 1 and "sync='none'" in violations[0]
+    # An arbitrarily slow fsync policy alone never fails the gate.
+    assert not cpt.durability_checks([(9, _durability_report(0.95, fsync_ratio=0.1))], 0.9)[1]
+
+    (tmp_path / "BENCH_PR9.json").write_text(json.dumps(bad))
+    assert cpt.main(["--root", str(tmp_path)]) == 1
+    (tmp_path / "BENCH_PR9.json").write_text(json.dumps(good))
+    assert cpt.main(["--root", str(tmp_path)]) == 0
+    # The gate threshold is an option, like the trajectory tolerance.
+    assert cpt.main(
+        ["--root", str(tmp_path), "--durability-tolerance", "0.99"]
+    ) == 1
+
+
+def test_reports_without_durability_are_untouched():
+    assert cpt.durability_checks([(5, _report(100.0))], 0.9) == ([], [])
+
+
 def test_main_on_repository_trajectory():
     """The committed BENCH_PR<n>.json files must satisfy the check."""
     assert cpt.main([]) == 0

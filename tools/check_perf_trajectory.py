@@ -25,6 +25,14 @@ Since PR 8 a report may also carry ``ivm_rebaseline_<scale>`` figures:
 checkout (see ``benchmarks/run_all.py --rebaseline-repo``).  Those ratios are
 machine-independent, so they are gated with the same tolerance — every
 recorded batch size must reach ``tolerance``x the baseline checkout.
+
+Since PR 9 a report may carry a ``durability_bench`` figure
+(``benchmarks/bench_durability.py``): per-sync-policy journaled throughput
+ratioed against the same run's no-journal figure.  The ``sync="none"``
+ratio — journaling's pure CPU cost, no flush — is gated at
+``--durability-tolerance`` (default 0.9: buffered journaling may cost at
+most 10%).  Like the rebaseline ratios, these are same-machine and need no
+cross-PR comparison.
 """
 
 from __future__ import annotations
@@ -98,6 +106,41 @@ def rebaseline_checks(reports, tolerance: float):
     return lines, violations
 
 
+def durability_checks(reports, tolerance: float):
+    """Gate the journaling-cost ratios recorded since PR 9.
+
+    Returns ``(lines, violations)``: a printable line per recorded sync
+    policy and a violation whenever the ``sync="none"`` ratio (buffered
+    journaling's CPU cost against the same run's no-journal figure) is under
+    ``tolerance``.  The flushing policies are reported but not gated — their
+    cost is the durability being bought.  Reports without a
+    ``durability_bench`` figure contribute nothing.
+    """
+    lines = []
+    violations = []
+    for pr, report in reports:
+        figure = report.get("figures", {}).get("durability_bench")
+        if not isinstance(figure, dict):
+            continue
+        policies = figure.get("sync_policies") or {}
+        for sync in sorted(policies):
+            try:
+                ratio = float(policies[sync]["ratio_vs_no_journal"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            lines.append(
+                f"[durability_bench] PR {pr} sync={sync}: {ratio:.3f}x "
+                "vs no-journal"
+            )
+            if sync == "none" and ratio < tolerance:
+                violations.append(
+                    f"[durability_bench] PR {pr}: sync='none' journaling at "
+                    f"{ratio:.3f}x is below {tolerance:.0%} of the no-journal "
+                    "throughput recorded in the same run"
+                )
+    return lines, violations
+
+
 def check_series(series, tolerance: float):
     """Violations of monotone non-regression (within ``tolerance``)."""
     violations = []
@@ -123,6 +166,8 @@ def main(argv=None) -> int:
     parser.add_argument("--metric-batch", type=int, nargs="+",
                         default=list(DEFAULT_BATCHES),
                         help="IVM batch size(s) the trajectory is checked at")
+    parser.add_argument("--durability-tolerance", type=float, default=0.9,
+                        help="minimum sync='none' journaled/no-journal ratio")
     arguments = parser.parse_args(argv)
 
     reports = load_trajectory(Path(arguments.root))
@@ -151,6 +196,15 @@ def main(argv=None) -> int:
                 print(f"[{scale}] batch-{batch_size} REGRESSION: {violation}")
 
     lines, violations = rebaseline_checks(reports, arguments.tolerance)
+    for line in lines:
+        print(line)
+    for violation in violations:
+        failed = True
+        print(f"REGRESSION: {violation}")
+
+    lines, violations = durability_checks(
+        reports, arguments.durability_tolerance
+    )
     for line in lines:
         print(line)
     for violation in violations:
