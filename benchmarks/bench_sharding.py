@@ -1,0 +1,333 @@
+"""The sharding benchmark: hash-sharded F-IVM vs the unsharded maintainer (PR 10).
+
+Measures batch-100 maintenance throughput on the bench-scale retailer
+stream (the PR-5 methodology: every base row as a shuffled insert, seed 11)
+four ways — the unsharded ``FIVM`` maintainer, the ``ShardedMaintainer``
+with the ``serial`` executor at 1 and at 2 shards, and the 2-shard
+``processpool`` executor (persistent spawn workers, pool start-up excluded)
+— on two stream shapes:
+
+- ``fact_only`` — inserts of the fact relation only, replayed after an
+  *untimed* pre-load of every dimension row (maintainers start from an
+  empty database, so without the pre-seed the timed passes would maintain
+  an empty join).  Sharding splits this work cleanly (each row lands on
+  exactly one shard), so the serial figures isolate the sharding layer's
+  own costs over a live join — the recorded ``root_count_after_pass``
+  proves the maintained payload is non-zero.  **These are the gated
+  figures** (``tools/check_perf_trajectory.py``):
+
+  * ``serial_shard1`` — the facade overhead (netting reuse, memoised
+    routing, deferred base-copy mirror) with the maintenance work itself
+    unchanged.  Must stay >= 0.9x unsharded: sharding a stream one way may
+    not cost more than 10%.
+  * ``serial_shard2`` — adds the structural cost of scale-out on one core:
+    every batch now runs *two* fused tree passes whose cost at 100-row
+    batches is dominated by fixed per-pass overhead, so near-parity is not
+    achievable serially (the passes exist to run on separate cores).  Gated
+    at the documented 0.4 floor to catch regressions in the per-shard path.
+
+- ``mixed`` — the full PR-5 stream including dimension rows.  Dimension
+  updates replicate to *every* shard (the documented cost of the
+  replicated-dimension design), so these ratios are recorded honestly but
+  not gated — with N shards each dimension row is applied N times.
+
+The processpool ratios are likewise recorded ungated: on the single-core
+reference container process parallelism cannot beat serial (two workers
+time-slice one core and pay group pickling on top), which the figure
+records honestly; the executor exists for multi-core deployments and for
+the one-shard-per-process memory ceiling.
+
+A ``skew`` figure replays a Zipf-skewed stream
+(:func:`repro.datasets._synthetic.skewed_update_stream`) over 4 shards and
+records the resulting shard imbalance next to the uniform stream's — the
+hash router cannot split one key, so heavy-hitter keys bound the achievable
+balance.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_sharding.py [--output BENCH_PR10.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import time
+from pathlib import Path
+
+from repro.datasets import retailer_database, retailer_query
+from repro.datasets._synthetic import skewed_update_stream
+from repro.ivm import FIVM, Update
+from repro.sharding import ShardedMaintainer
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The PR-5 "bench" scale (matches BENCH_PR5.json scales.bench.retailer).
+RETAILER_SCALE = {"inventory_rows": 1500, "stores": 10, "items": 40, "dates": 20}
+FEATURES = ["inventoryunits", "prize", "maxtemp"]
+FACT = "Inventory"
+BATCH_SIZE = 100
+#: (config name, shard count, executor) of every measured sharded mode.
+SHARDED_MODES = [
+    ("serial_shard1", 1, "serial"),
+    ("serial_shard2", 2, "serial"),
+    ("processpool_shard2", 2, "processpool"),
+]
+#: Each measured run loops its stream this many times (one maintainer per
+#: run, pool start-up excluded).  A single pass is tens of milliseconds —
+#: too short to resolve a few-percent facade cost against timer noise.
+PASSES = 8
+#: The serial floors enforced by tools/check_perf_trajectory.py.
+GATE_FLOORS = {"serial_shard1": 0.9, "serial_shard2": 0.4}
+
+
+def mixed_stream(database, seed=11):
+    """Every base row as a shuffled insert (the PR-5 methodology)."""
+    inserts = [
+        Update(relation.name, row, 1) for relation in database for row in relation
+    ]
+    random.Random(seed).shuffle(inserts)
+    return inserts
+
+
+def fact_only_stream(database, seed=11):
+    """Only the fact relation's rows, shuffled — no replicated work."""
+    inserts = [Update(FACT, row, 1) for row in database.relation(FACT)]
+    random.Random(seed).shuffle(inserts)
+    return inserts
+
+
+def dimension_seed(database):
+    """Every non-fact row as an insert, for the untimed dimension pre-load.
+
+    Maintainers own an initially *empty* copy of the schema database (the
+    paper's streaming experiment), so a fact-only replay against a fresh
+    maintainer would join fact deltas with empty dimension views.  Applying
+    these first — outside the timed region, like pool start-up — makes the
+    timed passes drive real leaf-to-root propagation.
+    """
+    return [
+        Update(relation.name, row, 1)
+        for relation in database
+        if relation.name != FACT
+        for row in relation
+    ]
+
+
+def _seed_dimensions(maintainer, seed_updates):
+    for batch in batches_of(seed_updates, BATCH_SIZE):
+        maintainer.apply_batch(batch)
+
+
+def batches_of(stream, size):
+    return [stream[start : start + size] for start in range(0, len(stream), size)]
+
+
+def _timed_replay(maintainer, batches, total):
+    started = time.perf_counter()
+    for _ in range(PASSES):
+        for batch in batches:
+            maintainer.apply_batch(batch)
+    return total * PASSES / max(time.perf_counter() - started, 1e-9)
+
+
+def unsharded_throughput(database, query, batches, total, seed_updates=()):
+    maintainer = FIVM(database, query, FEATURES)
+    _seed_dimensions(maintainer, seed_updates)
+    return _timed_replay(maintainer, batches, total)
+
+
+def sharded_throughput(
+    database, query, batches, total, shards, executor, seed_updates=()
+):
+    """Sharded replay throughput; construction (pool spawn/ship) excluded.
+
+    The excluded start-up is the one-time cost of bringing workers up,
+    shipping each shard maintainer once and pre-loading the dimension rows
+    (replicated to every shard) — after it, only pickled netted groups
+    cross the pipes, which is the steady state the ratio measures.
+    """
+    maintainer = ShardedMaintainer(
+        database, query, FEATURES, shards=shards, executor=executor
+    )
+    try:
+        _seed_dimensions(maintainer, seed_updates)
+        return _timed_replay(maintainer, batches, total)
+    finally:
+        maintainer.close()
+
+
+def skew_figures(database, query, shards=4, length=1200, repeats=1):
+    """Shard imbalance and serial throughput, uniform vs Zipf-skewed keys."""
+    figure = {"shards": shards, "stream_length": length, "alphas": {}}
+    for alpha in (0.0, 1.5):
+        stream = skewed_update_stream(
+            database, FACT, length, seed=23, skew_alpha=alpha, delete_fraction=0.25
+        )
+        batches = batches_of(stream, BATCH_SIZE)
+        best = 0.0
+        stats = {}
+        seed_updates = dimension_seed(database)
+        for _ in range(max(repeats, 1)):
+            maintainer = ShardedMaintainer(
+                database, query, FEATURES, shards=shards, executor="serial"
+            )
+            _seed_dimensions(maintainer, seed_updates)
+            started = time.perf_counter()
+            for batch in batches:
+                maintainer.apply_batch(batch)
+            best = max(best, length / max(time.perf_counter() - started, 1e-9))
+            stats = maintainer.sharding_stats()
+        figure["alphas"][str(alpha)] = {
+            "serial_tuples_per_s": round(best, 1),
+            "fact_rows_per_shard": stats["fact_rows_per_shard"],
+            "imbalance": stats["imbalance"],
+        }
+    return figure
+
+
+def run(repeats=3):
+    database = retailer_database(**RETAILER_SCALE)
+    query = retailer_query()
+    streams = {
+        "fact_only": fact_only_stream(database),
+        "mixed": mixed_stream(database),
+    }
+    # The mixed stream carries its own dimension inserts (the PR-5
+    # methodology); the fact-only stream needs the untimed pre-load.
+    seeds = {"fact_only": dimension_seed(database), "mixed": ()}
+    figure = {
+        "batch_size": BATCH_SIZE,
+        "passes_per_run": PASSES,
+        "streams": {},
+    }
+    # Warm-up run (discarded): stabilizes allocator/cache state so the
+    # first measured configuration isn't penalized for paying it.
+    unsharded_throughput(
+        database, query, batches_of(streams["fact_only"], BATCH_SIZE),
+        len(streams["fact_only"]), seeds["fact_only"],
+    )
+    modes = ["unsharded"] + [name for name, _shards, _executor in SHARDED_MODES]
+    best = {(stream, mode): 0.0 for stream in streams for mode in modes}
+    # Interleave the configurations across repeats — the facade cost is a
+    # few percent, well inside drift between back-to-back run blocks, so
+    # every mode must sample the same machine conditions as the unsharded
+    # baseline it is ratioed against.
+    for _attempt in range(max(repeats, 1)):
+        for name, stream in streams.items():
+            batches = batches_of(stream, BATCH_SIZE)
+            total = len(stream)
+            best[(name, "unsharded")] = max(
+                best[(name, "unsharded")],
+                unsharded_throughput(
+                    database, query, batches, total, seeds[name]
+                ),
+            )
+            for mode, shards, executor in SHARDED_MODES:
+                best[(name, mode)] = max(
+                    best[(name, mode)],
+                    sharded_throughput(
+                        database, query, batches, total, shards, executor,
+                        seeds[name],
+                    ),
+                )
+    for name, stream in streams.items():
+        plain = best[(name, "unsharded")]
+        # One untimed seeded single-pass replay per stream records the
+        # maintained root count — the proof that the measured passes drive
+        # a live (non-empty) join rather than empty-view bookkeeping.
+        probe = FIVM(database, query, FEATURES)
+        _seed_dimensions(probe, seeds[name])
+        for batch in batches_of(stream, BATCH_SIZE):
+            probe.apply_batch(batch)
+        entry = {
+            "stream_length": len(stream),
+            "root_count_after_pass": round(probe.statistics().count),
+            "unsharded_tuples_per_s": round(plain, 1),
+        }
+        for mode, shards, executor in SHARDED_MODES:
+            entry[mode] = {
+                "shards": shards,
+                "executor": executor,
+                "tuples_per_s": round(best[(name, mode)], 1),
+                "ratio_vs_unsharded": round(
+                    best[(name, mode)] / max(plain, 1e-9), 4
+                ),
+            }
+        figure["streams"][name] = entry
+    figure["gates"] = [
+        {
+            "stream": "fact_only",
+            "config": mode,
+            "ratio": figure["streams"]["fact_only"][mode]["ratio_vs_unsharded"],
+            "floor": floor,
+        }
+        for mode, floor in GATE_FLOORS.items()
+    ]
+    figure["skew"] = skew_figures(database, query, repeats=max(repeats - 1, 1))
+    return figure
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_PR10.json"))
+    parser.add_argument("--repeats", type=int, default=3)
+    arguments = parser.parse_args(argv)
+
+    figure = run(repeats=arguments.repeats)
+    fact_only = figure["streams"]["fact_only"]
+    mixed = figure["streams"]["mixed"]
+    report = {
+        "pr": 10,
+        "description": (
+            "hash-sharded relations: deterministic cross-process router, "
+            "ring-mergeable per-shard F-IVM maintainers behind the unsharded "
+            "maintainer contract, serial and persistent-process-pool "
+            "executors shipping only netted delta groups"
+        ),
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "scales": {"bench": {"retailer": RETAILER_SCALE}},
+        "figures": {"sharding_bench": figure},
+        "headline": {
+            "serial_shard1_fact_only_ratio": fact_only["serial_shard1"][
+                "ratio_vs_unsharded"
+            ],
+            "serial_shard2_fact_only_ratio": fact_only["serial_shard2"][
+                "ratio_vs_unsharded"
+            ],
+            "serial_shard2_mixed_ratio": mixed["serial_shard2"][
+                "ratio_vs_unsharded"
+            ],
+            "processpool_shard2_fact_only_ratio": fact_only["processpool_shard2"][
+                "ratio_vs_unsharded"
+            ],
+            "skew_imbalance": {
+                alpha: entry["imbalance"]
+                for alpha, entry in figure["skew"]["alphas"].items()
+            },
+        },
+    }
+    output = Path(arguments.output)
+    output.write_text(json.dumps(report, indent=1) + "\n")
+    print(json.dumps(report["headline"], indent=1))
+    print(f"wrote {output}")
+    failed = False
+    for gate in figure["gates"]:
+        if gate["ratio"] < gate["floor"]:
+            failed = True
+            print(
+                f"WARNING: {gate['config']} on the {gate['stream']} stream is "
+                f"below its floor (ratio {gate['ratio']} < {gate['floor']})"
+            )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -58,6 +58,13 @@ Since PR 9 (``--pr 9``) it additionally records the durability figures
 throughput per sync policy ratioed against the same run's no-journal
 figure (the ``sync="none"`` ratio is gated at 0.9 by the trajectory
 check), plus checkpoint write cost and recovery replay throughput.
+
+Since PR 10 (``--pr 10``) it additionally records the sharding figures
+(``sharding_bench``, from ``bench_sharding.py``): batch-100 sharded
+maintainer throughput ratioed against the same run's unsharded figure per
+stream shape and executor (the fact-only serial ratios are gated by the
+trajectory check — 1 shard at 0.9, 2 shards at the documented 0.4
+scale-out floor), plus the Zipf-skew shard-imbalance figure.
 """
 
 from __future__ import annotations
@@ -1136,6 +1143,16 @@ def main() -> None:
             repeats=arguments.rounds
         )
 
+    # PR 10: the sharding figures (sharded/unsharded throughput ratios per
+    # stream shape and executor, Zipf-skew shard imbalance).
+    if arguments.pr >= 10:
+        bench_sharding = _load_module(
+            "bench_sharding", BENCHMARKS_DIR / "bench_sharding.py"
+        )
+        report["figures"]["sharding_bench"] = bench_sharding.run(
+            repeats=arguments.rounds
+        )
+
     large = report["figures"].get("figure4_batches_large", {})
     speedups = [
         entry.get("speedup_vs_seed")
@@ -1208,6 +1225,20 @@ def main() -> None:
         report["headline"]["durability_recovery_replay_tuples_per_s"] = (
             durability["recovery_replay_tuples_per_s"]
         )
+    if arguments.pr >= 10:
+        sharding = report["figures"]["sharding_bench"]
+        report["headline"]["sharding_ratios_vs_unsharded"] = {
+            stream: {
+                config: record["ratio_vs_unsharded"]
+                for config, record in entry.items()
+                if isinstance(record, dict)
+            }
+            for stream, entry in sharding["streams"].items()
+        }
+        report["headline"]["sharding_skew_imbalance"] = {
+            alpha: entry["imbalance"]
+            for alpha, entry in sharding["skew"]["alphas"].items()
+        }
 
     output = Path(
         arguments.output
@@ -1258,6 +1289,13 @@ def main() -> None:
             f"{report['headline']['durability_journal_ratios']} "
             "(recovery replay "
             f"{report['headline']['durability_recovery_replay_tuples_per_s']} t/s)"
+        )
+    if "sharding_ratios_vs_unsharded" in report.get("headline", {}):
+        print(
+            "sharded/unsharded throughput ratios: "
+            f"{report['headline']['sharding_ratios_vs_unsharded']} "
+            "(skew imbalance "
+            f"{report['headline']['sharding_skew_imbalance']})"
         )
 
 

@@ -275,6 +275,42 @@ class Relation:
     def empty_like(self, name: Optional[str] = None) -> "Relation":
         return Relation(name or self.name, self.schema)
 
+    @staticmethod
+    def from_store(name: str, store: TupleStore) -> "Relation":
+        """Wrap an existing :class:`TupleStore` (the partition path)."""
+        relation = Relation(name, store.schema)
+        relation._store = store
+        return relation
+
+    def partition(self, assignments, parts: int) -> List["Relation"]:
+        """Split into ``parts`` relations by a per-slot assignment array.
+
+        ``assignments`` maps each *storage slot* (post-compaction order, the
+        order :meth:`column_store` exposes) to a part in ``[0, parts)``.
+        Each child is built through :meth:`TupleStore.take` — code arrays
+        gathered, dictionaries shallow-copied, row tuples shared by reference
+        — so no child ever re-materialises or re-encodes its rows.  Tombstones
+        are compacted away first so slots align with the live rows.
+        """
+        import numpy as np
+
+        store = self._store
+        if store.zeros:
+            store.compact()
+        store.flush_encodings()
+        assignments = np.asarray(assignments, dtype=np.int64)
+        if assignments.shape[0] != store.row_count:
+            raise RelationError(
+                f"partition of {self.name!r}: {assignments.shape[0]} assignments "
+                f"for {store.row_count} stored rows"
+            )
+        return [
+            Relation.from_store(
+                self.name, store.take(np.nonzero(assignments == part)[0])
+            )
+            for part in range(parts)
+        ]
+
     def rows(self) -> List[Row]:
         """All distinct rows (multiplicity ignored)."""
         return list(self._store.iter_rows())

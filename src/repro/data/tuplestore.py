@@ -103,6 +103,11 @@ class StatsCounters(dict):
             for key in self:
                 self[key] = 0
 
+    def __reduce__(self):
+        # The lock is process-local; pickle the counter values and rebuild
+        # (checkpointing a maintainer that embeds counters relies on this).
+        return (type(self), (dict(self),))
+
 
 #: Global storage-behaviour counters (see the module docstring).
 tuplestore_stats: StatsCounters = StatsCounters({
@@ -744,6 +749,40 @@ class TupleStore:
         self._row_index = {row: slot for slot, row in enumerate(self._rows)}
 
     # -- copying -----------------------------------------------------------------------
+
+    def take(self, slots: np.ndarray) -> "TupleStore":
+        """A new store holding exactly the given slots' rows, in slot order.
+
+        The partitioned-construction primitive behind
+        :meth:`repro.data.relation.Relation.partition`: the child's per-column
+        code arrays are *slices* of this store's arrays (one vectorised gather
+        per column) and the dictionaries are shallow list/dict copies — one
+        probe per **distinct** value, never a per-row re-encode — so carving a
+        shard out of a parent relation costs O(selected + distinct), not
+        O(selected × arity) dictionary work.  The row tuples are shared by
+        reference (they are immutable).  Tombstoned slots may be passed; they
+        carry over as tombstones.
+        """
+        self.flush_encodings()
+        slots = np.asarray(slots, dtype=np.int64)
+        clone = TupleStore(self.schema)
+        rows = self._rows
+        clone._rows = [rows[slot] for slot in slots.tolist()]
+        clone._row_index = {row: slot for slot, row in enumerate(clone._rows)}
+        picked = self._mults.view()[slots]
+        clone._mults = _GrowArray(np.float64, capacity=max(slots.size, 1))
+        clone._mults.extend(picked)
+        for position, column in enumerate(self._columns):
+            child = clone._columns[position]
+            child.values = list(column.values)
+            child.index = dict(column.index)
+            child.codes = _GrowArray(np.int64, capacity=max(slots.size, 1))
+            child.codes.extend(column.codes.view()[slots])
+        clone._encoded_count = len(clone._rows)
+        clone.live = int((picked != 0.0).sum())
+        clone.zeros = slots.size - clone.live
+        clone.total = float(picked.sum())
+        return clone
 
     def copy(self) -> "TupleStore":
         """An independent store with the same live content (log not carried)."""

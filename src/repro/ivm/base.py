@@ -52,6 +52,87 @@ class Update:
     multiplicity: int = 1
 
 
+def net_update_stream(
+    database: Database, updates: Iterable[Update]
+) -> List[Tuple[str, List[Tuple], List[int]]]:
+    """Net a batch per (relation, row) against ``database``'s schemas.
+
+    The shared netting step behind :meth:`CovarianceMaintainer.net_updates`
+    and :class:`repro.sharding.ShardedMaintainer` — netting happens exactly
+    once, whoever routes the groups afterwards.  Returns
+    ``(relation_name, rows, multiplicities)`` groups with relations in
+    first-touched order, rows in first-seen order and zero-netting rows
+    dropped; raises (without side effects) if any update's arity disagrees
+    with its relation's schema.
+    """
+    arities: Dict[str, int] = {}
+    schemas: Dict[str, Sequence[str]] = {}
+    grouped: Dict[str, Dict[Tuple, int]] = {}
+    grouped_get = grouped.get
+    for update in updates:
+        name = update.relation_name
+        row = update.row
+        bucket = grouped_get(name)
+        if bucket is None:
+            bucket = grouped[name] = {}
+            relation = database.relation(name)
+            arities[name] = relation.arity
+            schemas[name] = list(relation.schema.names)
+        if len(row) != arities[name]:
+            raise ValueError(
+                f"update row {row!r} has arity {len(row)}, but relation "
+                f"{name!r} has schema {schemas[name]} (arity {arities[name]})"
+            )
+        bucket[row] = bucket.get(row, 0) + update.multiplicity
+    groups: List[Tuple[str, List[Tuple], List[int]]] = []
+    for relation_name, bucket in grouped.items():
+        rows: List[Tuple] = []
+        netted: List[int] = []
+        for row, multiplicity in bucket.items():
+            if multiplicity != 0:
+                rows.append(row)
+                netted.append(multiplicity)
+        if rows:
+            groups.append((relation_name, rows, netted))
+    return groups
+
+
+def recompute_covariance(
+    query: ConjunctiveQuery,
+    database: Database,
+    features: Sequence[str],
+    ring: CovarianceRing,
+) -> CovariancePayload:
+    """Evaluate ``query`` over ``database`` and lift the result into the ring.
+
+    The from-scratch ground truth shared by
+    :meth:`CovarianceMaintainer.recompute_statistics` and the sharded facade:
+    the join result is read through its dictionary-encoded column store, so
+    count, sums and the quadratic form are three matrix expressions over the
+    feature columns instead of a Python loop over tuples.
+    """
+    joined = query.evaluate(database)
+    store = joined.column_store()
+    columns = [store.float_column(feature) for feature in features]
+    if store.row_count and all(column is not None for column in columns):
+        weights = store.multiplicities
+        if columns:
+            data = np.stack(columns, axis=1)          # (rows, features)
+            weighted = data * weights[:, None]
+            return CovariancePayload(
+                float(weights.sum()), weighted.sum(axis=0), data.T @ weighted
+            )
+        return CovariancePayload(float(weights.sum()), np.zeros(0), np.zeros((0, 0)))
+    names = joined.schema.names
+    positions = [names.index(feature) for feature in features]
+    total = ring.zero()
+    for row, multiplicity in joined.items():
+        vector = np.array([float(row[position]) for position in positions])
+        payload = CovariancePayload(1.0, vector.copy(), np.outer(vector, vector))
+        total = ring.add(total, ring.scale(payload, multiplicity))
+    return total
+
+
 class JoinIndex:
     """A maintained hash index of a relation on a subset of its attributes.
 
@@ -419,30 +500,7 @@ class CovarianceMaintainer(abc.ABC):
         write-ahead journal records.  Raises (without side effects) if any
         update's arity disagrees with its relation's schema.
         """
-        arities: Dict[str, int] = {}
-        grouped: Dict[str, Dict[Tuple, int]] = {}
-        grouped_get = grouped.get
-        for update in updates:
-            name = update.relation_name
-            row = update.row
-            bucket = grouped_get(name)
-            if bucket is None:
-                bucket = grouped[name] = {}
-                arities[name] = self.database.relation(name).arity
-            if len(row) != arities[name]:
-                self._validate(update)  # raises with the detailed message
-            bucket[row] = bucket.get(row, 0) + update.multiplicity
-        groups: List[Tuple[str, List[Tuple], List[int]]] = []
-        for relation_name, bucket in grouped.items():
-            rows: List[Tuple] = []
-            netted: List[int] = []
-            for row, multiplicity in bucket.items():
-                if multiplicity != 0:
-                    rows.append(row)
-                    netted.append(multiplicity)
-            if rows:
-                groups.append((relation_name, rows, netted))
-        return groups
+        return net_update_stream(self.database, updates)
 
     def apply_groups(
         self,
@@ -618,24 +676,4 @@ class CovarianceMaintainer(abc.ABC):
         count, sums and the quadratic form are three matrix expressions over
         the feature columns instead of a Python loop over tuples.
         """
-        joined = self.query.evaluate(self.database)
-        store = joined.column_store()
-        columns = [store.float_column(feature) for feature in self.features]
-        if store.row_count and all(column is not None for column in columns):
-            weights = store.multiplicities
-            if columns:
-                data = np.stack(columns, axis=1)          # (rows, features)
-                weighted = data * weights[:, None]
-                return CovariancePayload(
-                    float(weights.sum()), weighted.sum(axis=0), data.T @ weighted
-                )
-            return CovariancePayload(float(weights.sum()),
-                                     np.zeros(0), np.zeros((0, 0)))
-        names = joined.schema.names
-        positions = [names.index(feature) for feature in self.features]
-        total = self.ring.zero()
-        for row, multiplicity in joined.items():
-            vector = np.array([float(row[position]) for position in positions])
-            payload = CovariancePayload(1.0, vector.copy(), np.outer(vector, vector))
-            total = self.ring.add(total, self.ring.scale(payload, multiplicity))
-        return total
+        return recompute_covariance(self.query, self.database, self.features, self.ring)

@@ -81,6 +81,16 @@ class QueryServer:
     disable the writer-oriented delta paths — a pinned snapshot never
     reports changes, so delta refresh and root patching could only add
     overhead, never hits.
+
+    ``maintainer`` is anything speaking the maintainer contract —
+    ``database`` / ``join_tree`` / ``query`` / ``apply_batch`` /
+    ``net_updates`` / ``apply_groups`` / ``statistics`` — which includes
+    :class:`repro.sharding.ShardedMaintainer`: the server snapshots and
+    queries the facade's base-relation copy while the shards do the view
+    maintenance, and ``serving_stats()`` grows a ``sharding`` block
+    (shard count, per-shard fact rows, imbalance, ship/message counters).
+    Durability composes with the *serial* sharded executor only — the
+    process pool's live worker pipes cannot be checkpointed.
     """
 
     def __init__(
@@ -341,6 +351,9 @@ class QueryServer:
             block["current_prefix"] = current.prefix
             block["current_snapshot_age_s"] = time.perf_counter() - current.created_at
         block["kernel_backend"] = kernels.current_backend()
+        sharding_stats = getattr(self.maintainer, "sharding_stats", None)
+        if sharding_stats is not None:
+            block["sharding"] = sharding_stats()
         block["durability_enabled"] = self._journal is not None
         if self._journal is not None:
             block["journal_sync"] = self._journal.sync

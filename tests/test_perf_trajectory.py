@@ -135,6 +135,68 @@ def test_reports_without_durability_are_untouched():
     assert cpt.durability_checks([(5, _report(100.0))], 0.9) == ([], [])
 
 
+def _sharding_report(shard1_ratio, shard2_ratio, mixed_shard2=0.5, pool=0.2):
+    def entry(ratio):
+        return {"ratio_vs_unsharded": ratio}
+
+    return {
+        "figures": {
+            "sharding_bench": {
+                "streams": {
+                    "fact_only": {
+                        "stream_length": 1499,
+                        "unsharded_tuples_per_s": 100000.0,
+                        "serial_shard1": entry(shard1_ratio),
+                        "serial_shard2": entry(shard2_ratio),
+                        "processpool_shard2": entry(pool),
+                    },
+                    "mixed": {
+                        "stream_length": 1754,
+                        "unsharded_tuples_per_s": 90000.0,
+                        "serial_shard2": entry(mixed_shard2),
+                    },
+                }
+            }
+        }
+    }
+
+
+_SHARDING_FLOORS = {"serial_shard1": 0.9, "serial_shard2": 0.4}
+
+
+def test_sharding_serial_ratios_are_gated(tmp_path):
+    """The fact-only serial ratios gate at their floors; mixed-stream and
+    processpool ratios are reported but never gated."""
+    good = _sharding_report(0.95, 0.55)
+    lines, violations = cpt.sharding_checks([(10, good)], _SHARDING_FLOORS)
+    assert len(lines) == 4 and not violations
+
+    bad_facade = _sharding_report(0.6, 0.55)
+    _lines, violations = cpt.sharding_checks([(10, bad_facade)], _SHARDING_FLOORS)
+    assert len(violations) == 1 and "serial_shard1" in violations[0]
+
+    bad_scaleout = _sharding_report(0.95, 0.2)
+    _lines, violations = cpt.sharding_checks([(10, bad_scaleout)], _SHARDING_FLOORS)
+    assert len(violations) == 1 and "serial_shard2" in violations[0]
+
+    # Arbitrarily slow mixed-stream or processpool figures never fail.
+    slow_ungated = _sharding_report(0.95, 0.55, mixed_shard2=0.1, pool=0.01)
+    assert not cpt.sharding_checks([(10, slow_ungated)], _SHARDING_FLOORS)[1]
+
+    (tmp_path / "BENCH_PR10.json").write_text(json.dumps(bad_facade))
+    assert cpt.main(["--root", str(tmp_path)]) == 1
+    (tmp_path / "BENCH_PR10.json").write_text(json.dumps(good))
+    assert cpt.main(["--root", str(tmp_path)]) == 0
+    # The gate thresholds are options, like the other tolerances.
+    assert cpt.main(
+        ["--root", str(tmp_path), "--sharding-scaleout-tolerance", "0.6"]
+    ) == 1
+
+
+def test_reports_without_sharding_are_untouched():
+    assert cpt.sharding_checks([(5, _report(100.0))], _SHARDING_FLOORS) == ([], [])
+
+
 def test_main_on_repository_trajectory():
     """The committed BENCH_PR<n>.json files must satisfy the check."""
     assert cpt.main([]) == 0

@@ -33,6 +33,19 @@ ratio — journaling's pure CPU cost, no flush — is gated at
 ``--durability-tolerance`` (default 0.9: buffered journaling may cost at
 most 10%).  Like the rebaseline ratios, these are same-machine and need no
 cross-PR comparison.
+
+Since PR 10 a report may carry a ``sharding_bench`` figure
+(``benchmarks/bench_sharding.py``): batch-100 sharded-maintainer throughput
+ratioed against the same run's unsharded figure, per stream shape and
+configuration.  Two serial fact-only ratios are gated: ``serial_shard1``
+(the sharding facade's own overhead — netting reuse, memoised routing,
+deferred base mirror) at ``--sharding-tolerance`` (default 0.9), and
+``serial_shard2`` (which adds the structural cost of a second fused tree
+pass per batch, irreducible on one core) at
+``--sharding-scaleout-tolerance`` (default 0.4).  The mixed-stream and
+processpool ratios are printed but not gated — dimension replication and
+single-core process parallelism cost what they cost, and the figure records
+it honestly.
 """
 
 from __future__ import annotations
@@ -141,6 +154,51 @@ def durability_checks(reports, tolerance: float):
     return lines, violations
 
 
+#: The sharded configurations gated on the fact-only stream, with the
+#: command-line flag their floor comes from (see ``sharding_checks``).
+SHARDING_GATED = ("serial_shard1", "serial_shard2")
+
+
+def sharding_checks(reports, tolerances):
+    """Gate the sharded/unsharded throughput ratios recorded since PR 10.
+
+    ``tolerances`` maps the gated config names (``SHARDING_GATED``) to their
+    floors.  Returns ``(lines, violations)``: a printable line per recorded
+    stream/config ratio, and a violation whenever a gated fact-only serial
+    ratio is under its floor.  Mixed-stream and processpool ratios are
+    reported but never gated.  Reports without a ``sharding_bench`` figure
+    contribute nothing.
+    """
+    lines = []
+    violations = []
+    for pr, report in reports:
+        figure = report.get("figures", {}).get("sharding_bench")
+        if not isinstance(figure, dict):
+            continue
+        for stream in sorted(figure.get("streams") or {}):
+            entry = figure["streams"][stream]
+            for config in sorted(entry):
+                record = entry[config]
+                if not isinstance(record, dict):
+                    continue
+                try:
+                    ratio = float(record["ratio_vs_unsharded"])
+                except (KeyError, TypeError, ValueError):
+                    continue
+                lines.append(
+                    f"[sharding_bench] PR {pr} {stream}/{config}: "
+                    f"{ratio:.3f}x vs unsharded"
+                )
+                floor = tolerances.get(config)
+                if stream == "fact_only" and floor is not None and ratio < floor:
+                    violations.append(
+                        f"[sharding_bench] PR {pr}: {config} on the fact-only "
+                        f"stream at {ratio:.3f}x is below {floor:.0%} of the "
+                        "unsharded throughput recorded in the same run"
+                    )
+    return lines, violations
+
+
 def check_series(series, tolerance: float):
     """Violations of monotone non-regression (within ``tolerance``)."""
     violations = []
@@ -168,6 +226,12 @@ def main(argv=None) -> int:
                         help="IVM batch size(s) the trajectory is checked at")
     parser.add_argument("--durability-tolerance", type=float, default=0.9,
                         help="minimum sync='none' journaled/no-journal ratio")
+    parser.add_argument("--sharding-tolerance", type=float, default=0.9,
+                        help="minimum serial 1-shard sharded/unsharded ratio "
+                             "(fact-only stream, batch 100)")
+    parser.add_argument("--sharding-scaleout-tolerance", type=float, default=0.4,
+                        help="minimum serial 2-shard sharded/unsharded ratio "
+                             "(fact-only stream, batch 100)")
     arguments = parser.parse_args(argv)
 
     reports = load_trajectory(Path(arguments.root))
@@ -204,6 +268,19 @@ def main(argv=None) -> int:
 
     lines, violations = durability_checks(
         reports, arguments.durability_tolerance
+    )
+    for line in lines:
+        print(line)
+    for violation in violations:
+        failed = True
+        print(f"REGRESSION: {violation}")
+
+    lines, violations = sharding_checks(
+        reports,
+        {
+            "serial_shard1": arguments.sharding_tolerance,
+            "serial_shard2": arguments.sharding_scaleout_tolerance,
+        },
     )
     for line in lines:
         print(line)
